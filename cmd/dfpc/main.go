@@ -1,0 +1,226 @@
+// Command dfpc trains and evaluates a discriminative frequent-pattern
+// classifier on a CSV dataset (or one of the bundled synthetic
+// benchmarks).
+//
+// Usage:
+//
+//	dfpc -data heart.csv -family Pat_FS -learner svm -folds 10
+//	dfpc -dataset austral -family Pat_FS -minsup 0.1
+//	dfpc -list                 # list bundled datasets
+//
+// The CSV format is: header row; the class label in the last column;
+// "?" marks missing cells. Numeric columns are detected automatically
+// and discretized.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dfpc"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "path to a CSV dataset (class label in last column)")
+		bundled   = flag.String("dataset", "", "bundled synthetic dataset name (see -list)")
+		list      = flag.Bool("list", false, "list bundled dataset names and exit")
+		family    = flag.String("family", "Pat_FS", "model family: Item_All, Item_FS, Item_RBF, Pat_All, Pat_FS")
+		learner   = flag.String("learner", "svm", "learner: svm, c45, nbayes, or knn")
+		folds     = flag.Int("folds", 10, "cross-validation folds")
+		seed      = flag.Int64("seed", 1, "random seed for folds and synthetic data")
+		minSup    = flag.Float64("minsup", 0, "relative min_sup; 0 derives it from -ig0 via the paper's strategy")
+		ig0       = flag.Float64("ig0", 0.03, "information-gain threshold for the automatic min_sup strategy")
+		coverage  = flag.Int("coverage", 3, "MMRFS database coverage δ")
+		svmC      = flag.Float64("C", 1, "SVM soft-margin penalty")
+		gamma     = flag.Float64("gamma", 0, "RBF γ (0 = 1/numFeatures)")
+		useFisher = flag.Bool("fisher", false, "use Fisher score instead of information gain as MMRFS relevance")
+		explain   = flag.Int("explain", 0, "print the top-N selected patterns with their measures")
+		saveTo    = flag.String("save", "", "after evaluation, train on the full dataset and save the model here")
+		loadFrom  = flag.String("load", "", "load a saved model and predict the dataset (no training)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range dfpc.DatasetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	d, err := loadData(*dataPath, *bundled, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc:", err)
+		os.Exit(1)
+	}
+
+	if *loadFrom != "" {
+		if err := predictOnly(*loadFrom, d); err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fam, err := parseFamily(*family)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc:", err)
+		os.Exit(2)
+	}
+	lrn := dfpc.SVM
+	switch strings.ToLower(*learner) {
+	case "c45", "c4.5":
+		lrn = dfpc.C45
+	case "nbayes", "nb", "naivebayes":
+		lrn = dfpc.NaiveBayes
+	case "knn":
+		lrn = dfpc.KNN
+	}
+
+	opts := []dfpc.Option{
+		dfpc.WithIGThreshold(*ig0),
+		dfpc.WithCoverage(*coverage),
+		dfpc.WithSVMC(*svmC),
+	}
+	if *minSup > 0 {
+		opts = append(opts, dfpc.WithMinSupport(*minSup))
+	} else {
+		opts = append(opts, dfpc.WithMinSupport(-1)) // automatic strategy
+	}
+	if *gamma > 0 {
+		opts = append(opts, dfpc.WithRBFGamma(*gamma))
+	}
+	if *useFisher {
+		opts = append(opts, dfpc.WithFisherRelevance())
+	}
+
+	clf := dfpc.NewClassifier(fam, lrn, opts...)
+	res, err := dfpc.CrossValidate(clf, d, *folds, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset     %s (%d rows, %d attrs, %d classes)\n",
+		d.Name, d.NumRows(), d.NumAttrs(), d.NumClasses())
+	fmt.Printf("model       %v + %v\n", fam, lrn)
+	fmt.Printf("accuracy    %.2f%% ± %.2f (%d-fold CV)\n", 100*res.Mean, 100*res.Std, *folds)
+	fmt.Printf("train time  %v   test time  %v\n", res.TrainTime.Round(1e6), res.TestTime.Round(1e6))
+	if clf.Stats.MinSupport > 0 {
+		fmt.Printf("min_sup     %.4f (last fold), %d patterns mined, %d features selected\n",
+			clf.Stats.MinSupport, clf.Stats.MinedCount, clf.Stats.FeatureCount)
+	}
+	if *explain > 0 {
+		printExplanation(clf, *explain)
+	}
+	if *saveTo != "" {
+		rows := make([]int, d.NumRows())
+		for i := range rows {
+			rows[i] = i
+		}
+		if err := clf.Fit(d, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc: final fit:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := dfpc.SaveModel(f, clf); err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s\n", *saveTo)
+	}
+}
+
+// predictOnly loads a saved model and prints one predicted class per
+// dataset row.
+func predictOnly(path string, d *dfpc.Dataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	clf, err := dfpc.LoadModel(f)
+	if err != nil {
+		return err
+	}
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	pred, err := clf.Predict(d, rows)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for i, p := range pred {
+		fmt.Println(d.Classes[p])
+		if p == d.Labels[i] {
+			correct++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "accuracy vs labels in file: %.2f%%\n",
+		100*float64(correct)/float64(len(pred)))
+	return nil
+}
+
+// printExplanation renders the top-n selected patterns of the last
+// trained fold, ordered by information gain.
+func printExplanation(clf *dfpc.Classifier, n int) {
+	rep := clf.Explain()
+	if len(rep) == 0 {
+		fmt.Println("\nno pattern features to explain (item-only model?)")
+		return
+	}
+	sort.Slice(rep, func(i, j int) bool { return rep[i].InfoGain > rep[j].InfoGain })
+	if n > len(rep) {
+		n = len(rep)
+	}
+	fmt.Printf("\ntop %d selected patterns (of %d, last fold):\n", n, len(rep))
+	fmt.Printf("%-8s %-8s %-6s %-10s %s\n", "support", "IG", "conf", "class", "pattern")
+	for _, r := range rep[:n] {
+		fmt.Printf("%-8d %-8.4f %-6.2f %-10s %s\n", r.Support, r.InfoGain, r.Confidence, r.MajorityClass, r.Name)
+	}
+}
+
+func loadData(path, bundled string, seed int64) (*dfpc.Dataset, error) {
+	switch {
+	case path != "" && bundled != "":
+		return nil, fmt.Errorf("use -data or -dataset, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dfpc.LoadCSV(f, strings.TrimSuffix(path, ".csv"))
+	case bundled != "":
+		return dfpc.Generate(bundled, seed)
+	default:
+		return nil, fmt.Errorf("need -data <file.csv> or -dataset <name> (try -list)")
+	}
+}
+
+func parseFamily(s string) (dfpc.Family, error) {
+	switch strings.ToLower(s) {
+	case "item_all", "itemall":
+		return dfpc.ItemAll, nil
+	case "item_fs", "itemfs":
+		return dfpc.ItemFS, nil
+	case "item_rbf", "itemrbf":
+		return dfpc.ItemRBF, nil
+	case "pat_all", "patall":
+		return dfpc.PatAll, nil
+	case "pat_fs", "patfs":
+		return dfpc.PatFS, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q", s)
+	}
+}

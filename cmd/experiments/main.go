@@ -1,0 +1,295 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic dataset stand-ins (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments -table 1            # Table 1 (SVM, 19 datasets)
+//	experiments -table 2            # Table 2 (C4.5)
+//	experiments -table 3|4|5        # scalability (Chess/Waveform/Letter)
+//	experiments -table harmony      # Section 5 rule-based comparison
+//	experiments -figure 1|2|3       # IG/Fisher figures with bounds
+//	experiments -figure minsup      # Section 3.2 min_sup sweep
+//	experiments -ablations          # DESIGN.md §5 ablation suite
+//	experiments -all                # everything
+//	experiments -quick              # reduced-fidelity everything (3 folds, samples)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dfpc/internal/datagen"
+	"dfpc/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1, 2, 3, 4, 5, or harmony")
+	figure := flag.String("figure", "", "figure to regenerate: 1, 2, 3, or minsup")
+	ablations := flag.Bool("ablations", false, "run the ablation suite")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "reduced fidelity: 3 folds, subsampled dense sets")
+	folds := flag.Int("folds", 0, "cross-validation folds (default 10, or 3 with -quick)")
+	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	flag.Parse()
+
+	cfg := runConfig{folds: *folds, quick: *quick, csvDir: *csvDir}
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.folds == 0 {
+		cfg.folds = 10
+		if cfg.quick {
+			cfg.folds = 3
+		}
+	}
+
+	start := time.Now()
+	var err error
+	switch {
+	case *all:
+		err = runAll(cfg)
+	case *table != "":
+		err = runTable(cfg, *table)
+	case *figure != "":
+		err = runFigure(cfg, *figure)
+	case *ablations:
+		err = runAblations(cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+type runConfig struct {
+	folds  int
+	quick  bool
+	csvDir string
+}
+
+// emitCSV writes one result file when -csv is set.
+func (c runConfig) emitCSV(name string, write func(w *os.File) error) error {
+	if c.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(c.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runAll(cfg runConfig) error {
+	for _, t := range []string{"1", "2", "3", "4", "5", "harmony"} {
+		if err := runTable(cfg, t); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, f := range []string{"1", "2", "3", "minsup"} {
+		if err := runFigure(cfg, f); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return runAblations(cfg)
+}
+
+func runTable(cfg runConfig, table string) error {
+	proto := experiments.Protocol{Folds: cfg.folds}
+	switch table {
+	case "1":
+		rows, err := experiments.RunTable1(datagen.Table1Names(), proto)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable1(os.Stdout, rows)
+		if err := cfg.emitCSV("table1.csv", func(w *os.File) error { return experiments.Table1CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "2":
+		rows, err := experiments.RunTable2(datagen.Table1Names(), proto)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable2(os.Stdout, rows)
+		if err := cfg.emitCSV("table2.csv", func(w *os.File) error { return experiments.Table2CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "3", "4", "5":
+		sc := scalabilityConfig(table, cfg.quick)
+		rows, err := experiments.RunScalability(sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteScalability(os.Stdout, scalabilityTitle(table), rows)
+		if err := cfg.emitCSV("table"+table+".csv", func(w *os.File) error { return experiments.ScalabilityCSV(w, rows) }); err != nil {
+			return err
+		}
+	case "harmony":
+		sample := 0
+		if cfg.quick {
+			sample = 2000
+		}
+		rows, err := experiments.RunHarmonyComparison([]string{"waveform", "letter"}, 0.1, sample)
+		if err != nil {
+			return err
+		}
+		experiments.WriteHarmony(os.Stdout, rows)
+		if err := cfg.emitCSV("harmony.csv", func(w *os.File) error { return experiments.HarmonyCSV(w, rows) }); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}
+
+func scalabilityConfig(table string, quick bool) experiments.ScalabilityConfig {
+	var sc experiments.ScalabilityConfig
+	switch table {
+	case "3":
+		sc = experiments.ScalabilityConfig{
+			Dataset:     "chess",
+			AbsSupports: []int{1, 3000, 2800, 2500, 2200, 2000},
+		}
+		if quick {
+			sc.SampleRows = 1200
+			sc.AbsSupports = []int{1, 1120, 1050, 940, 830, 750}
+		}
+	case "4":
+		sc = experiments.ScalabilityConfig{
+			Dataset:     "waveform",
+			AbsSupports: []int{1, 200, 150, 100, 80},
+		}
+		if quick {
+			sc.SampleRows = 1500
+			sc.AbsSupports = []int{1, 60, 45, 30, 24}
+		}
+	case "5":
+		sc = experiments.ScalabilityConfig{
+			Dataset:     "letter",
+			AbsSupports: []int{1, 4500, 4000, 3500, 3000},
+		}
+		if quick {
+			sc.SampleRows = 4000
+			sc.AbsSupports = []int{1, 900, 800, 700, 600}
+		}
+	}
+	return sc
+}
+
+func scalabilityTitle(table string) string {
+	switch table {
+	case "3":
+		return "Table 3. Accuracy & Time on Chess Data"
+	case "4":
+		return "Table 4. Accuracy & Time on Waveform Data"
+	default:
+		return "Table 5. Accuracy & Time on Letter Recognition Data"
+	}
+}
+
+func runFigure(cfg runConfig, figure string) error {
+	trio := []string{"austral", "breast", "sonar"}
+	switch figure {
+	case "1":
+		rows, err := experiments.RunFigure1(trio, 0.1)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFigure1(os.Stdout, rows)
+		if err := cfg.emitCSV("figure1.csv", func(w *os.File) error { return experiments.Figure1CSV(w, rows) }); err != nil {
+			return err
+		}
+	case "2":
+		rows, err := experiments.RunFigure2(trio, 0.1, 20)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBoundFigure(os.Stdout,
+			"Figure 2. Information Gain and the Theoretical Upper Bound vs Support", "IG", rows)
+		if err := cfg.emitCSV("figure2.csv", func(w *os.File) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
+			return err
+		}
+	case "3":
+		rows, err := experiments.RunFigure3(trio, 0.1, 20)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBoundFigure(os.Stdout,
+			"Figure 3. Fisher Score and the Theoretical Upper Bound vs Support", "Fr", rows)
+		if err := cfg.emitCSV("figure3.csv", func(w *os.File) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
+			return err
+		}
+	case "minsup":
+		rows, err := experiments.RunMinSupSweep("austral",
+			[]float64{0.5, 0.4, 0.3, 0.2, 0.15, 0.1, 0.07, 0.05}, cfg.folds)
+		if err != nil {
+			return err
+		}
+		experiments.WriteMinSupSweep(os.Stdout, rows)
+		if err := cfg.emitCSV("minsup_sweep.csv", func(w *os.File) error { return experiments.MinSupSweepCSV(w, rows) }); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+	return nil
+}
+
+func runAblations(cfg runConfig) error {
+	name := "austral"
+	type study struct {
+		title string
+		file  string
+		run   func() ([]experiments.AblationRow, error)
+	}
+	studies := []study{
+		{"Ablation: closed vs all frequent patterns", "ablation_closed.csv",
+			func() ([]experiments.AblationRow, error) {
+				return experiments.RunAblationClosedVsAll(name, 0.15, cfg.folds)
+			}},
+		{"Ablation: MMRFS vs top-k relevance", "ablation_redundancy.csv",
+			func() ([]experiments.AblationRow, error) {
+				return experiments.RunAblationRedundancy(name, 0.15, cfg.folds)
+			}},
+		{"Ablation: information gain vs Fisher relevance", "ablation_relevance.csv",
+			func() ([]experiments.AblationRow, error) {
+				return experiments.RunAblationRelevance(name, 0.15, cfg.folds)
+			}},
+		{"Ablation: MMRFS coverage δ", "ablation_coverage.csv",
+			func() ([]experiments.AblationRow, error) {
+				return experiments.RunAblationCoverage(name, 0.15, []int{1, 2, 3, 5, 10}, cfg.folds)
+			}},
+		{"Ablation: θ*(IG0) strategy vs hand-set min_sup", "ablation_minsup_strategy.csv",
+			func() ([]experiments.AblationRow, error) {
+				return experiments.RunAblationMinSupStrategy(name, []float64{0.4, 0.2, 0.1, 0.05}, cfg.folds)
+			}},
+	}
+	for i, s := range studies {
+		rows, err := s.run()
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		experiments.WriteAblation(os.Stdout, s.title, rows)
+		if err := cfg.emitCSV(s.file, func(w *os.File) error { return experiments.AblationCSV(w, rows) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

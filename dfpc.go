@@ -1,0 +1,364 @@
+// Package dfpc is a Go implementation of discriminative frequent
+// pattern analysis for classification (Cheng, Yan, Han & Hsu, ICDE
+// 2007). It classifies categorical/numeric tabular data in the feature
+// space of single features plus closed frequent patterns, selected by
+// the MMRFS relevance/redundancy algorithm, and learned by an SVM or a
+// C4.5 decision tree.
+//
+// The minimal workflow:
+//
+//	d, _ := dfpc.Generate("austral", 1)          // or dfpc.LoadCSV(r, "mydata")
+//	clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM)
+//	res, _ := dfpc.CrossValidate(clf, d, 10, 42)
+//	fmt.Printf("accuracy %.2f%%\n", 100*res.Mean)
+//
+// The package also exposes the paper's analytical toolkit: information
+// gain and Fisher score upper bounds as functions of pattern support,
+// and the min_sup-setting strategy θ* = argmax_θ (IGub(θ) ≤ IG0).
+package dfpc
+
+import (
+	"fmt"
+	"io"
+
+	"dfpc/internal/c45"
+	"dfpc/internal/core"
+	"dfpc/internal/datagen"
+	"dfpc/internal/dataset"
+	"dfpc/internal/discretize"
+	"dfpc/internal/eval"
+	"dfpc/internal/featsel"
+	"dfpc/internal/measures"
+)
+
+// Dataset is a labelled tabular dataset (categorical and/or numeric
+// attributes plus a class label per row).
+type Dataset = dataset.Dataset
+
+// Attribute describes one dataset column.
+type Attribute = dataset.Attribute
+
+// CVResult summarizes a cross-validation run.
+type CVResult = eval.CVResult
+
+// CompareResult reports a paired t-test between two CV runs.
+type CompareResult = eval.CompareResult
+
+// FeatureReport describes one selected pattern feature: the readable
+// conjunction, its support, information gain, Fisher score, and the
+// class it votes for. Obtain reports from Classifier.Explain after Fit.
+type FeatureReport = core.FeatureReport
+
+// PatternStat carries the per-feature measures plotted in the paper's
+// Figures 1–3 (length, support, information gain, Fisher score).
+type PatternStat = core.PatternStat
+
+// BoundPoint is one point of a theoretical bound curve (Figures 2–3).
+type BoundPoint = core.BoundPoint
+
+// Family selects one of the paper's model families (Tables 1–2).
+type Family int
+
+const (
+	// ItemAll uses all single features.
+	ItemAll Family = iota
+	// ItemFS uses MMRFS-selected single features.
+	ItemFS
+	// ItemRBF uses all single features under an RBF-kernel SVM.
+	ItemRBF
+	// PatAll uses all single features plus every closed frequent
+	// pattern (no selection).
+	PatAll
+	// PatFS uses all single features plus MMRFS-selected closed
+	// frequent patterns — the paper's proposed configuration.
+	PatFS
+)
+
+func (f Family) String() string {
+	switch f {
+	case ItemAll:
+		return "Item_All"
+	case ItemFS:
+		return "Item_FS"
+	case ItemRBF:
+		return "Item_RBF"
+	case PatAll:
+		return "Pat_All"
+	case PatFS:
+		return "Pat_FS"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Learner selects the model-learning algorithm.
+type Learner int
+
+const (
+	// SVM is a linear-kernel support vector machine (the paper's
+	// primary learner).
+	SVM Learner = iota
+	// C45 is a C4.5 decision tree.
+	C45
+	// NaiveBayes is a Bernoulli naive Bayes learner. Not part of the
+	// paper's tables; included because the framework is
+	// learner-agnostic.
+	NaiveBayes
+	// KNN is a k-nearest-neighbour learner over the binary feature
+	// space with Jaccard distance.
+	KNN
+)
+
+func (l Learner) String() string {
+	switch l {
+	case SVM:
+		return "SVM"
+	case C45:
+		return "C4.5"
+	case NaiveBayes:
+		return "NaiveBayes"
+	case KNN:
+		return "kNN"
+	default:
+		return fmt.Sprintf("Learner(%d)", int(l))
+	}
+}
+
+// Option customizes a Classifier.
+type Option func(*core.Config)
+
+// WithMinSupport fixes the relative min_sup θ0 for pattern mining. When
+// not set, min_sup is derived by the paper's Section 3.2 strategy from
+// the information-gain threshold (WithIGThreshold).
+func WithMinSupport(rel float64) Option {
+	return func(c *core.Config) { c.MinSupport = rel }
+}
+
+// WithIGThreshold sets the information-gain filter level IG0 that the
+// automatic min_sup strategy maps to a support threshold.
+func WithIGThreshold(ig0 float64) Option {
+	return func(c *core.Config) { c.IG0 = ig0 }
+}
+
+// WithCoverage sets MMRFS's database coverage parameter δ.
+func WithCoverage(delta int) Option {
+	return func(c *core.Config) { c.Coverage = delta }
+}
+
+// WithFisherRelevance switches MMRFS's relevance measure from
+// information gain to Fisher score.
+func WithFisherRelevance() Option {
+	return func(c *core.Config) { c.Relevance = featsel.Fisher }
+}
+
+// WithSVMC sets the SVM soft-margin penalty C.
+func WithSVMC(cval float64) Option {
+	return func(c *core.Config) { c.SVMC = cval }
+}
+
+// WithRBFGamma sets γ for the RBF kernel (ItemRBF family).
+func WithRBFGamma(gamma float64) Option {
+	return func(c *core.Config) { c.RBFGamma = gamma }
+}
+
+// WithMaxPatternLen caps the length of mined patterns.
+func WithMaxPatternLen(n int) Option {
+	return func(c *core.Config) { c.MaxPatternLen = n }
+}
+
+// WithMaxPatterns caps the total mined pattern count; exceeding it
+// fails the fit with a pattern-budget error.
+func WithMaxPatterns(n int) Option {
+	return func(c *core.Config) { c.MaxPatterns = n }
+}
+
+// WithMDLDiscretization switches numeric discretization from the
+// default equal-frequency binning to Fayyad–Irani entropy-MDL.
+func WithMDLDiscretization() Option {
+	return func(c *core.Config) { c.Disc = discretize.Options{Method: discretize.EntropyMDL} }
+}
+
+// WithChiMergeDiscretization switches numeric discretization to
+// Kerber's ChiMerge (supervised bottom-up interval merging).
+func WithChiMergeDiscretization() Option {
+	return func(c *core.Config) { c.Disc = discretize.Options{Method: discretize.ChiMerge} }
+}
+
+// WithBins sets the bin count for equal-frequency/equal-width
+// discretization.
+func WithBins(n int) Option {
+	return func(c *core.Config) { c.Disc.Bins = n }
+}
+
+// WithTreeConfig configures the C4.5 learner.
+func WithTreeConfig(cfg c45.Config) Option {
+	return func(c *core.Config) { c.Tree = cfg }
+}
+
+// WithCGrid enables inner model selection for SVM learners: Fit
+// cross-validates over the given C values on the training rows and
+// keeps the best, matching the paper's protocol of picking the best
+// model on each training set.
+func WithCGrid(grid ...float64) Option {
+	return func(c *core.Config) { c.CGrid = append([]float64(nil), grid...) }
+}
+
+// WithProbability calibrates Platt sigmoids during Fit so
+// Classifier.PredictProb returns per-class probability estimates
+// (SVM learners only).
+func WithProbability() Option {
+	return func(c *core.Config) { c.Probability = true }
+}
+
+// Classifier is a configured classification pipeline. It implements
+// the eval.Pipeline contract used by CrossValidate: Fit on dataset rows
+// then Predict other rows.
+type Classifier = core.Pipeline
+
+// NewClassifier builds a classifier of the given family and learner.
+func NewClassifier(f Family, l Learner, opts ...Option) *Classifier {
+	cfg := core.Config{}
+	switch l {
+	case C45:
+		cfg.Learner = core.C45Tree
+	case NaiveBayes:
+		cfg.Learner = core.NaiveBayes
+	case KNN:
+		cfg.Learner = core.KNN
+	default:
+		cfg.Learner = core.SVMLinear
+	}
+	switch f {
+	case ItemFS:
+		cfg.SelectItems = true
+	case ItemRBF:
+		cfg.Learner = core.SVMRBF
+	case PatAll:
+		cfg.UsePatterns = true
+	case PatFS:
+		cfg.UsePatterns = true
+		cfg.SelectPatterns = true
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := core.New(cfg)
+	if err != nil {
+		// The only construction error is the mutually exclusive
+		// SelectItems/UsePatterns combination, which the Family switch
+		// above cannot produce.
+		panic(err)
+	}
+	return p
+}
+
+// LoadCSV reads a dataset from CSV: header row, class label in the last
+// column, "?" for missing cells. Numeric columns are detected
+// automatically.
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	return dataset.ReadCSV(r, name)
+}
+
+// SaveCSV writes a dataset in the format LoadCSV reads.
+func SaveCSV(w io.Writer, d *Dataset) error {
+	return dataset.WriteCSV(w, d)
+}
+
+// Generate builds one of the bundled synthetic benchmark datasets
+// (stand-ins for the paper's UCI datasets; see DESIGN.md). The seed
+// fixes the random draw.
+func Generate(name string, seed int64) (*Dataset, error) {
+	return datagen.ByName(name, seed)
+}
+
+// DatasetNames lists the bundled benchmark dataset names.
+func DatasetNames() []string { return datagen.Names() }
+
+// CrossValidate runs stratified k-fold cross validation (the paper's
+// protocol uses k = 10).
+func CrossValidate(c *Classifier, d *Dataset, k int, seed int64) (*CVResult, error) {
+	return eval.CrossValidate(c, d, k, seed)
+}
+
+// Compare runs a two-sided paired t-test over the fold accuracies of
+// two cross-validation results evaluated on the same folds, reporting
+// whether the accuracy difference is significant at the 5% level.
+func Compare(a, b *CVResult) (*CompareResult, error) {
+	return eval.Compare(a, b)
+}
+
+// TrainTestSplit returns stratified train/test row indices.
+func TrainTestSplit(d *Dataset, testFrac float64, seed int64) (train, test []int, err error) {
+	return dataset.StratifiedSplit(d.Labels, d.NumClasses(), testFrac, seed)
+}
+
+// Evaluate fits the classifier on train rows and returns its accuracy
+// on test rows.
+func Evaluate(c *Classifier, d *Dataset, train, test []int) (float64, error) {
+	return eval.HoldOut(c, d, train, test)
+}
+
+// AnalyzePatterns mines a dataset's closed patterns and reports each
+// feature's length, support, information gain, and Fisher score — the
+// raw material of the paper's Figures 1–3. With includeSingles, single
+// features are included as length-1 entries. It also returns the
+// per-class instance counts needed for the bound overlays.
+func AnalyzePatterns(d *Dataset, minSupport float64, includeSingles bool) ([]PatternStat, []int, error) {
+	stats, b, err := core.AnalyzePatterns(d, core.AnalyzeOptions{
+		MinSupport:     minSupport,
+		IncludeSingles: includeSingles,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, b.ClassCounts(), nil
+}
+
+// IGUpperBound returns the paper's information-gain upper bound
+// IGub(θ) for a two-class problem with minority prior p — the Figure 2
+// envelope.
+func IGUpperBound(theta, p float64) float64 {
+	return measures.IGUpperBound(theta, p)
+}
+
+// FisherUpperBound returns the Fisher-score upper bound Frub(θ) — the
+// Figure 3 envelope.
+func FisherUpperBound(theta, p float64) float64 {
+	return measures.FisherUpperBound(theta, p)
+}
+
+// IGBoundCurve returns IGub at every absolute support for the given
+// class counts.
+func IGBoundCurve(classCounts []int) []BoundPoint {
+	return core.IGBoundCurve(classCounts)
+}
+
+// FisherBoundCurve returns Frub at every absolute support.
+func FisherBoundCurve(classCounts []int) []BoundPoint {
+	return core.FisherBoundCurve(classCounts)
+}
+
+// MinSupportForIG implements the min_sup-setting strategy (Eq. 8):
+// given an information-gain threshold IG0, a two-class minority prior
+// p, and n training instances, it returns the largest absolute support
+// whose IG upper bound stays at or below IG0. Mining with min_sup one
+// above it loses no feature an IG0 filter would keep.
+func MinSupportForIG(ig0, p float64, n int) (int, error) {
+	return measures.MinSupportForIG(ig0, p, n)
+}
+
+// MinSupportForFisher is the Fisher-score variant of the strategy.
+func MinSupportForFisher(fr0, p float64, n int) (int, error) {
+	return measures.MinSupportForFisher(fr0, p, n)
+}
+
+// SaveModel serializes a fitted classifier so it can be reloaded with
+// LoadModel and used for prediction without retraining.
+func SaveModel(w io.Writer, c *Classifier) error {
+	return c.Save(w)
+}
+
+// LoadModel restores a classifier saved with SaveModel.
+func LoadModel(r io.Reader) (*Classifier, error) {
+	return core.Load(r)
+}

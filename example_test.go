@@ -1,0 +1,88 @@
+package dfpc_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dfpc"
+)
+
+// ExampleNewClassifier trains the paper's Pat_FS configuration and
+// evaluates it with cross validation.
+func ExampleNewClassifier() {
+	d, err := dfpc.Generate("labor", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM, dfpc.WithMinSupport(0.3))
+	res, err := dfpc.CrossValidate(clf, d, 3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("folds: %d, accuracy in (0,1]: %v\n", len(res.FoldAccuracies), res.Mean > 0 && res.Mean <= 1)
+	// Output:
+	// folds: 3, accuracy in (0,1]: true
+}
+
+// ExampleLoadCSV builds a dataset from CSV text.
+func ExampleLoadCSV() {
+	csv := "color,weight,label\nred,1.5,pos\nblue,2.5,neg\nred,1.7,pos\nblue,2.2,neg\n"
+	d, err := dfpc.LoadCSV(strings.NewReader(csv), "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d rows, %d attrs, %d classes\n", d.NumRows(), d.NumAttrs(), d.NumClasses())
+	// Output:
+	// 4 rows, 2 attrs, 2 classes
+}
+
+// ExampleMinSupportForIG shows the paper's min_sup-setting strategy:
+// an information-gain filter level maps to the largest support whose
+// IG upper bound stays under it.
+func ExampleMinSupportForIG() {
+	s, err := dfpc.MinSupportForIG(0.05, 0.5, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	theta := float64(s) / 1000
+	fmt.Printf("skippable support: bound at θ* is %.4f <= 0.05: %v\n",
+		dfpc.IGUpperBound(theta, 0.5), dfpc.IGUpperBound(theta, 0.5) <= 0.05)
+	// Output:
+	// skippable support: bound at θ* is 0.0497 <= 0.05: true
+}
+
+// ExampleIGUpperBound evaluates the paper's Figure 2 envelope at a few
+// supports: low- and very-high-support features have bounded
+// discriminative power.
+func ExampleIGUpperBound() {
+	for _, theta := range []float64{0.02, 0.5, 0.98} {
+		fmt.Printf("IGub(%.2f) = %.3f\n", theta, dfpc.IGUpperBound(theta, 0.5))
+	}
+	// Output:
+	// IGub(0.02) = 0.020
+	// IGub(0.50) = 1.000
+	// IGub(0.98) = 0.020
+}
+
+// ExampleClassifier_Explain prints the interpretable pattern features a
+// fitted model selected.
+func ExampleClassifier_Explain() {
+	d, err := dfpc.Generate("labor", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM, dfpc.WithMinSupport(0.3))
+	if err := clf.Fit(d, rows); err != nil {
+		log.Fatal(err)
+	}
+	rep := clf.Explain()
+	fmt.Printf("selected patterns: %v, first is a conjunction: %v\n",
+		len(rep) > 0, len(rep) > 0 && strings.Contains(rep[0].Name, "∧"))
+	// Output:
+	// selected patterns: true, first is a conjunction: true
+}

@@ -1,0 +1,90 @@
+// minsup_strategy demonstrates the paper's Section 3.2 analysis: the
+// information-gain upper bound as a function of pattern support, and
+// the strategy that maps a feature-filter threshold IG0 to a minimum
+// support θ* = argmax_θ (IGub(θ) ≤ IG0), so mining at min_sup = θ*
+// skips no feature an IG filter would keep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfpc"
+)
+
+func main() {
+	d, err := dfpc.Generate("breast", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := d.NumRows()
+
+	// Class prior p (minority class) drives the bound.
+	counts := make([]int, d.NumClasses())
+	for _, y := range d.Labels {
+		counts[y]++
+	}
+	p := float64(counts[1]) / float64(n)
+	if p > 0.5 {
+		p = 1 - p
+	}
+	fmt.Printf("dataset %s: n = %d, minority prior p = %.3f\n\n", d.Name, n, p)
+
+	// The theoretical envelope: low-support features cannot be very
+	// discriminative; neither can near-universal ones ("stop words").
+	fmt.Println("support θ      IGub(θ)")
+	for _, theta := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 0.95} {
+		fmt.Printf("   %5.2f        %.4f\n", theta, dfpc.IGUpperBound(theta, p))
+	}
+
+	// The strategy: pick IG0, get the largest support that an IG filter
+	// at IG0 would discard anyway.
+	fmt.Println("\nIG0 filter  →  θ* (largest skippable support)")
+	for _, ig0 := range []float64{0.01, 0.03, 0.05, 0.1, 0.2} {
+		s, err := dfpc.MinSupportForIG(ig0, p, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %4.2f     →  %4d  (θ = %.4f)\n", ig0, s, float64(s)/float64(n))
+	}
+
+	// The same strategy runs inside the classifier when no explicit
+	// min_sup is given.
+	clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM,
+		dfpc.WithMinSupport(-1),    // derive from IG0
+		dfpc.WithIGThreshold(0.03), // the filter level
+	)
+	res, err := dfpc.CrossValidate(clf, d, 5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPat_FS with automatic min_sup: accuracy %.2f%%, derived min_sup %.4f\n",
+		100*res.Mean, clf.Stats.MinSupport)
+
+	// Verify the envelope empirically: no mined feature's information
+	// gain exceeds the bound at its support.
+	stats, classCounts, err := dfpc.AnalyzePatterns(d, 0.1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := dfpc.IGBoundCurve(classCounts)
+	violations := 0
+	maxIG, maxBound := 0.0, 0.0
+	for _, s := range stats {
+		if s.Support < 1 || s.Support > len(curve) {
+			continue
+		}
+		b := curve[s.Support-1].Bound
+		if s.InfoGain > b+1e-9 {
+			violations++
+		}
+		if s.InfoGain > maxIG {
+			maxIG = s.InfoGain
+		}
+		if b > maxBound {
+			maxBound = b
+		}
+	}
+	fmt.Printf("checked %d features: %d bound violations (max IG %.3f vs max bound %.3f)\n",
+		len(stats), violations, maxIG, maxBound)
+}

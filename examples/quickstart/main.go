@@ -1,0 +1,46 @@
+// Quickstart: train and evaluate a frequent pattern-based classifier on
+// a benchmark dataset and compare it against the single-feature
+// baseline — the paper's headline experiment on one dataset.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfpc"
+)
+
+func main() {
+	// Generate a benchmark dataset (a synthetic stand-in for the UCI
+	// "austral" credit-approval data: 690 rows, 14 attributes, 2
+	// classes). To use your own data: dfpc.LoadCSV(file, "name").
+	d, err := dfpc.Generate("austral", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d rows, %d attributes, %d classes\n\n",
+		d.Name, d.NumRows(), d.NumAttrs(), d.NumClasses())
+
+	// Item_All: a linear SVM over single features only.
+	baseline := dfpc.NewClassifier(dfpc.ItemAll, dfpc.SVM)
+	base, err := dfpc.CrossValidate(baseline, d, 10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Item_All (single features):            %6.2f%%\n", 100*base.Mean)
+
+	// Pat_FS: the paper's framework — closed frequent patterns mined per
+	// class at min_sup, MMRFS-selected, appended to the feature space.
+	patterns := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM,
+		dfpc.WithMinSupport(0.1), // relative min_sup θ0
+		dfpc.WithCoverage(3),     // MMRFS database coverage δ
+	)
+	pat, err := dfpc.CrossValidate(patterns, d, 10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pat_FS (discriminative patterns):      %6.2f%%\n", 100*pat.Mean)
+	fmt.Printf("\npatterns mined %d, selected %d (last fold)\n",
+		patterns.Stats.MinedCount, patterns.Stats.FeatureCount)
+	fmt.Printf("improvement: %+.2f points\n", 100*(pat.Mean-base.Mean))
+}

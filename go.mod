@@ -1,0 +1,3 @@
+module dfpc
+
+go 1.22

@@ -1,0 +1,316 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", b.Count())
+	}
+	if b.Any() {
+		t.Fatal("Any() on empty bitset")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Get(%d) false after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("Get(64) true after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Set(3)
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, i := range []int{-1, 10, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			b.Set(i)
+		}()
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromIndices(t *testing.T) {
+	b := FromIndices(100, []int{5, 70, 99})
+	if b.Count() != 3 || !b.Get(5) || !b.Get(70) || !b.Get(99) {
+		t.Fatalf("FromIndices wrong contents: %v", b.Indices())
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := FromIndices(70, []int{1, 2, 3, 65})
+	b := FromIndices(70, []int{2, 3, 4, 66})
+
+	and := a.Clone()
+	and.And(b)
+	if got := and.Indices(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("And = %v, want [2 3]", got)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got := or.Count(); got != 6 {
+		t.Fatalf("Or count = %d, want 6", got)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 65 {
+		t.Fatalf("AndNot = %v, want [1 65]", got)
+	}
+}
+
+func TestAndCountOrCount(t *testing.T) {
+	a := FromIndices(128, []int{0, 10, 64, 100})
+	b := FromIndices(128, []int{10, 64, 127})
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d, want 2", got)
+	}
+	if got := a.OrCount(b); got != 5 {
+		t.Fatalf("OrCount = %d, want 5", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	a := FromIndices(100, []int{3, 50})
+	b := FromIndices(100, []int{3, 50, 70})
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(90, []int{1, 89})
+	b := FromIndices(90, []int{1, 89})
+	c := FromIndices(90, []int{1})
+	d := FromIndices(91, []int{1, 89})
+	if !a.Equal(b) {
+		t.Fatal("a != b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a == c")
+	}
+	if a.Equal(d) {
+		t.Fatal("a == d despite length mismatch")
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 129} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("SetAll on n=%d: Count = %d", n, got)
+		}
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	b := FromIndices(100, []int{1, 2, 3})
+	b.ClearAll()
+	if b.Any() {
+		t.Fatal("Any() after ClearAll")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := FromIndices(64, []int{7})
+	c := a.Clone()
+	c.Set(8)
+	if a.Get(8) {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(64, []int{7})
+	b := New(64)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom produced unequal bitset")
+	}
+}
+
+func TestIndicesAndForEachOrder(t *testing.T) {
+	want := []int{0, 5, 63, 64, 127, 128}
+	b := FromIndices(200, want)
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := FromIndices(200, []int{5, 64, 130})
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, -1}, {-5, 5}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromIndices(5, []int{0, 3})
+	if got := b.String(); got != "10010" {
+		t.Fatalf("String = %q, want 10010", got)
+	}
+}
+
+// randomPair builds two random same-length bitsets plus the reference
+// boolean-slice model, used by the property tests below.
+func randomPair(r *rand.Rand) (a, b *Bitset, am, bm []bool) {
+	n := 1 + r.Intn(300)
+	a, b = New(n), New(n)
+	am, bm = make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			a.Set(i)
+			am[i] = true
+		}
+		if r.Intn(2) == 0 {
+			b.Set(i)
+			bm[i] = true
+		}
+	}
+	return
+}
+
+func TestQuickAndMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, am, bm := randomPair(r)
+		want := 0
+		for i := range am {
+			if am[i] && bm[i] {
+				want++
+			}
+		}
+		if a.AndCount(b) != want {
+			return false
+		}
+		a.And(b)
+		return a.Count() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a ∪ b| = |a| + |b| − |a ∩ b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, _, _ := randomPair(r)
+		return a.OrCount(b) == a.Count()+b.Count()-a.AndCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetAfterAnd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, _, _ := randomPair(r)
+		c := a.Clone()
+		c.And(b)
+		return c.IsSubsetOf(a) && c.IsSubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, _, _, _ := randomPair(r)
+		back := FromIndices(a.Len(), a.Indices())
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := New(100000), New(100000)
+	for i := 0; i < 100000; i++ {
+		if r.Intn(2) == 0 {
+			x.Set(i)
+		}
+		if r.Intn(2) == 0 {
+			y.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+	}
+}

@@ -1,0 +1,626 @@
+// Package core implements the paper's frequent pattern-based
+// classification framework (Section 3): (1) feature generation — closed
+// frequent patterns mined per class partition at min_sup, (2) feature
+// selection — MMRFS, and (3) model learning — SVM or C4.5 on the
+// extended feature space I ∪ Fs. It also provides the baseline model
+// families of Tables 1–2 (Item_All, Item_FS, Item_RBF, Pat_All,
+// Pat_FS) behind one Pipeline type that plugs into eval.CrossValidate.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dfpc/internal/c45"
+	"dfpc/internal/dataset"
+	"dfpc/internal/discretize"
+	"dfpc/internal/featsel"
+	"dfpc/internal/knn"
+	"dfpc/internal/measures"
+	"dfpc/internal/mining"
+	"dfpc/internal/nbayes"
+	"dfpc/internal/svm"
+)
+
+// Learner selects the model-learning algorithm of step (3).
+type Learner int
+
+const (
+	// SVMLinear is LIBSVM-style C-SVC with a linear kernel (the main
+	// learner of Table 1).
+	SVMLinear Learner = iota
+	// SVMRBF is C-SVC with an RBF kernel (the Item_RBF baseline).
+	SVMRBF
+	// C45Tree is the C4.5 decision tree (Table 2).
+	C45Tree
+	// NaiveBayes is a Bernoulli naive Bayes learner (not in the paper's
+	// tables; demonstrates the framework's learner-agnosticism).
+	NaiveBayes
+	// KNN is a k-nearest-neighbour learner with Jaccard distance (same
+	// purpose as NaiveBayes).
+	KNN
+)
+
+func (l Learner) String() string {
+	switch l {
+	case SVMLinear:
+		return "svm-linear"
+	case SVMRBF:
+		return "svm-rbf"
+	case C45Tree:
+		return "c4.5"
+	case NaiveBayes:
+		return "naive-bayes"
+	case KNN:
+		return "knn"
+	default:
+		return fmt.Sprintf("Learner(%d)", int(l))
+	}
+}
+
+// Config configures a Pipeline.
+type Config struct {
+	// UsePatterns enables feature generation: closed frequent patterns
+	// are mined per class and added to the feature space.
+	UsePatterns bool
+	// SelectPatterns applies MMRFS to the mined pattern pool; the
+	// feature space becomes I ∪ Fs (Pat_FS). Without it the space is
+	// I ∪ F (Pat_All).
+	SelectPatterns bool
+	// SelectItems applies MMRFS to the single items and restricts the
+	// feature space to the selected items (Item_FS). Mutually exclusive
+	// with UsePatterns.
+	SelectItems bool
+
+	// MinSupport is the relative min_sup θ0 for per-class mining. When
+	// <= 0, it is derived by the paper's Section 3.2 strategy: the
+	// largest θ whose information-gain upper bound stays below IG0.
+	MinSupport float64
+	// IG0 is the information-gain filter threshold used to derive
+	// min_sup when MinSupport <= 0 (default 0.03).
+	IG0 float64
+	// MaxPatternLen caps mined pattern length (default 6; 0 keeps the
+	// default, negative means unlimited).
+	MaxPatternLen int
+	// MaxPatterns aborts mining past this many patterns, surfacing
+	// mining.ErrPatternBudget (default 2,000,000).
+	MaxPatterns int
+
+	// Coverage is MMRFS's δ (default 3).
+	Coverage int
+	// Relevance is MMRFS's S measure (default information gain).
+	Relevance featsel.Relevance
+
+	// Learner picks the classifier (default SVMLinear).
+	Learner Learner
+	// SVMC is the soft-margin penalty (default 1).
+	SVMC float64
+	// CGrid, when non-empty, enables inner model selection for SVM
+	// learners: Fit cross-validates over these C values on the training
+	// rows (3 inner folds) and keeps the best — the paper's "10-fold
+	// cross validation on each training set, pick the best model" step,
+	// at reduced inner fold count for tractability.
+	CGrid []float64
+	// RBFGamma is γ for SVMRBF; <= 0 means 1/numFeatures.
+	RBFGamma float64
+	// Probability calibrates Platt sigmoids during Fit (SVM learners
+	// only) so PredictProb can be used.
+	Probability bool
+	// Tree configures C45Tree.
+	Tree c45.Config
+
+	// Disc configures discretization of numeric attributes (default
+	// entropy-MDL).
+	Disc discretize.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.IG0 <= 0 {
+		c.IG0 = 0.03
+	}
+	if c.MaxPatternLen == 0 {
+		c.MaxPatternLen = 6
+	} else if c.MaxPatternLen < 0 {
+		c.MaxPatternLen = 0
+	}
+	if c.MaxPatterns <= 0 {
+		c.MaxPatterns = 2_000_000
+	}
+	if c.Coverage <= 0 {
+		c.Coverage = 3
+	}
+	if c.SVMC <= 0 {
+		c.SVMC = 1
+	}
+	return c
+}
+
+// predictor is the common contract every learner's trained model
+// satisfies.
+type predictor interface {
+	Predict(x []int32) int
+}
+
+// Pipeline is one configured train/predict pipeline. It implements
+// eval.Pipeline. The zero value is unusable; construct with New or one
+// of the model-family helpers.
+type Pipeline struct {
+	cfg Config
+
+	// fitted state
+	disc     *discretize.Discretizer
+	space    *dataset.Space
+	numItems int
+	patterns []mining.Pattern // selected pattern features, id = numItems + index
+	model    predictor
+	itemKept []bool // non-nil for Item_FS: which items stay in the space
+	report   []FeatureReport
+
+	// Stats from the last Fit, for reports and the scalability tables.
+	Stats FitStats
+}
+
+// FitStats reports feature-generation/selection outcomes of a Fit call.
+type FitStats struct {
+	MinSupport   float64 // the relative min_sup actually used
+	MinedCount   int     // |F| before selection
+	FeatureCount int     // patterns (or items for Item_FS) after selection
+	SelectedC    float64 // SVM C chosen by inner model selection (0 = none)
+}
+
+// FeatureReport describes one selected pattern feature for
+// interpretability: the human-readable conjunction, its coverage and
+// discriminative measures, and the class it votes for.
+type FeatureReport struct {
+	Name          string // e.g. "color=red ∧ size=(2.5-5]"
+	Items         []int32
+	Length        int
+	Support       int
+	RelSupport    float64
+	InfoGain      float64
+	Fisher        float64
+	MajorityClass string
+	Confidence    float64 // P(majority class | pattern present)
+}
+
+// New builds a pipeline from a config.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.UsePatterns && cfg.SelectItems {
+		return nil, errors.New("core: SelectItems and UsePatterns are mutually exclusive")
+	}
+	return &Pipeline{cfg: cfg.withDefaults()}, nil
+}
+
+// The model families of Tables 1–2.
+
+// NewItemAll classifies on all single features.
+func NewItemAll(l Learner) *Pipeline {
+	p, _ := New(Config{Learner: l})
+	return p
+}
+
+// NewItemFS classifies on MMRFS-selected single features.
+func NewItemFS(l Learner) *Pipeline {
+	p, _ := New(Config{Learner: l, SelectItems: true})
+	return p
+}
+
+// NewItemRBF classifies on all single features with an RBF-kernel SVM.
+func NewItemRBF(gamma float64) *Pipeline {
+	p, _ := New(Config{Learner: SVMRBF, RBFGamma: gamma})
+	return p
+}
+
+// NewPatAll classifies on I ∪ F: all single features plus all closed
+// frequent patterns at the given relative min_sup (<= 0 derives it from
+// the IG-threshold strategy).
+func NewPatAll(l Learner, minSup float64) *Pipeline {
+	p, _ := New(Config{Learner: l, UsePatterns: true, MinSupport: minSup})
+	return p
+}
+
+// NewPatFS classifies on I ∪ Fs: all single features plus the
+// MMRFS-selected closed frequent patterns.
+func NewPatFS(l Learner, minSup float64) *Pipeline {
+	p, _ := New(Config{Learner: l, UsePatterns: true, SelectPatterns: true, MinSupport: minSup})
+	return p
+}
+
+// resolveMinSupport applies the Section 3.2 strategy when no explicit
+// min_sup is configured: compute θ* = argmax_θ (IGub(θ) ≤ IG0) from
+// the training class distribution.
+func (p *Pipeline) resolveMinSupport(b *dataset.Binary) (float64, error) {
+	if p.cfg.MinSupport > 0 {
+		return p.cfg.MinSupport, nil
+	}
+	n := b.NumRows()
+	counts := b.ClassCounts()
+	var sAbs int
+	var err error
+	if b.NumClasses() == 2 {
+		pos := float64(counts[1]) / float64(n)
+		// The bound is symmetric in p ↔ 1−p; use the minority prior.
+		if pos > 0.5 {
+			pos = 1 - pos
+		}
+		sAbs, err = measures.MinSupportForIG(p.cfg.IG0, pos, n)
+	} else {
+		priors := make([]float64, len(counts))
+		for c, cnt := range counts {
+			priors[c] = float64(cnt) / float64(n)
+		}
+		sAbs, err = measures.MinSupportForIGMulti(p.cfg.IG0, priors, n)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Mining keeps supports strictly above the skippable region.
+	rel := float64(sAbs+1) / float64(n)
+	if rel > 0.5 {
+		rel = 0.5 // never demand majority support; keep the pool usable
+	}
+	if rel <= 0 {
+		rel = 1 / float64(n)
+	}
+	return rel, nil
+}
+
+// Fit trains the pipeline on the given rows of d.
+func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
+	if len(rows) == 0 {
+		return errors.New("core: empty training set")
+	}
+	train := d.Subset(rows)
+
+	var err error
+	p.disc, err = discretize.Fit(train, p.cfg.Disc)
+	if err != nil {
+		return fmt.Errorf("core: discretize: %w", err)
+	}
+	cat, err := p.disc.Apply(train)
+	if err != nil {
+		return fmt.Errorf("core: discretize apply: %w", err)
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	p.space = b.Space
+	p.numItems = b.NumItems()
+	p.patterns = nil
+	p.itemKept = nil
+	p.report = nil
+	p.Stats = FitStats{}
+
+	switch {
+	case p.cfg.SelectItems:
+		if err := p.selectItems(b); err != nil {
+			return err
+		}
+	case p.cfg.UsePatterns:
+		if err := p.generatePatterns(b); err != nil {
+			return err
+		}
+	}
+	p.buildReport(b)
+
+	if len(p.cfg.CGrid) > 0 && (p.cfg.Learner == SVMLinear || p.cfg.Learner == SVMRBF) {
+		c, err := p.selectSVMC(d, rows)
+		if err != nil {
+			return fmt.Errorf("core: model selection: %w", err)
+		}
+		p.Stats.SelectedC = c
+	}
+
+	x := make([][]int32, b.NumRows())
+	for i := range x {
+		x[i] = p.featureVector(b.Rows[i])
+	}
+	return p.learn(x, b.Labels, b.NumClasses())
+}
+
+// buildReport records the interpretability report for the selected
+// pattern features.
+func (p *Pipeline) buildReport(b *dataset.Binary) {
+	if len(p.patterns) == 0 {
+		return
+	}
+	n := float64(b.NumRows())
+	p.report = make([]FeatureReport, 0, len(p.patterns))
+	for _, pt := range p.patterns {
+		cover := b.Cover(pt.Items)
+		sup := cover.Count()
+		best, bestCount := 0, 0
+		for c, mask := range b.ClassMasks {
+			if hits := cover.AndCount(mask); hits > bestCount {
+				best, bestCount = c, hits
+			}
+		}
+		conf := 0.0
+		if sup > 0 {
+			conf = float64(bestCount) / float64(sup)
+		}
+		name := ""
+		for j, it := range pt.Items {
+			if j > 0 {
+				name += " ∧ "
+			}
+			name += b.Space.ItemName(int(it))
+		}
+		p.report = append(p.report, FeatureReport{
+			Name:          name,
+			Items:         pt.Items,
+			Length:        pt.Len(),
+			Support:       sup,
+			RelSupport:    float64(sup) / n,
+			InfoGain:      measures.InfoGain(cover, b.ClassMasks),
+			Fisher:        measures.FisherScore(cover, b.ClassMasks),
+			MajorityClass: b.Classes[best],
+			Confidence:    conf,
+		})
+	}
+}
+
+// Explain returns the interpretability report for the pattern features
+// selected by the last Fit (nil when the pipeline uses no patterns).
+func (p *Pipeline) Explain() []FeatureReport {
+	return p.report
+}
+
+// selectSVMC runs a small inner cross-validation over cfg.CGrid on the
+// training rows and returns the best C, which it also installs in the
+// pipeline's configuration for the final fit.
+func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
+	labels := make([]int, len(rows))
+	for i, r := range rows {
+		labels[i] = d.Labels[r]
+	}
+	folds, err := dataset.StratifiedKFold(labels, d.NumClasses(), 3, 1)
+	if err != nil {
+		// Too little data for an inner split: keep the configured C.
+		return p.cfg.SVMC, nil
+	}
+	bestC, bestAcc := p.cfg.SVMC, -1.0
+	for _, c := range p.cfg.CGrid {
+		if c <= 0 {
+			return 0, fmt.Errorf("core: non-positive C %v in grid", c)
+		}
+		cfg := p.cfg
+		cfg.CGrid = nil
+		cfg.SVMC = c
+		inner := &Pipeline{cfg: cfg}
+		correct, total := 0, 0
+		for f := range folds {
+			trIdx, teIdx := dataset.TrainTestFromFolds(folds, f)
+			tr := make([]int, len(trIdx))
+			for i, idx := range trIdx {
+				tr[i] = rows[idx]
+			}
+			te := make([]int, len(teIdx))
+			for i, idx := range teIdx {
+				te[i] = rows[idx]
+			}
+			if err := inner.Fit(d, tr); err != nil {
+				return 0, err
+			}
+			pred, err := inner.Predict(d, te)
+			if err != nil {
+				return 0, err
+			}
+			for i, r := range te {
+				if pred[i] == d.Labels[r] {
+					correct++
+				}
+				total++
+			}
+		}
+		if total > 0 {
+			if acc := float64(correct) / float64(total); acc > bestAcc {
+				bestAcc, bestC = acc, c
+			}
+		}
+	}
+	p.cfg.SVMC = bestC
+	return bestC, nil
+}
+
+// selectItems runs MMRFS over the single items (Item_FS).
+func (p *Pipeline) selectItems(b *dataset.Binary) error {
+	cands := make([]featsel.Candidate, b.NumItems())
+	for i := range cands {
+		cands[i] = featsel.Candidate{Items: []int32{int32(i)}, Cover: b.Columns[i]}
+	}
+	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
+		Relevance: p.cfg.Relevance,
+		Coverage:  p.cfg.Coverage,
+	})
+	if err != nil {
+		return fmt.Errorf("core: item MMRFS: %w", err)
+	}
+	p.itemKept = make([]bool, b.NumItems())
+	for _, idx := range res.Selected {
+		p.itemKept[idx] = true
+	}
+	p.Stats.MinedCount = b.NumItems()
+	p.Stats.FeatureCount = len(res.Selected)
+	return nil
+}
+
+// generatePatterns mines closed patterns per class and, for Pat_FS,
+// applies MMRFS.
+func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
+	minSup, err := p.resolveMinSupport(b)
+	if err != nil {
+		return err
+	}
+	p.Stats.MinSupport = minSup
+	mined, err := mining.MinePerClass(b, mining.PerClassOptions{
+		MinSupport:  minSup,
+		Closed:      true,
+		MaxPatterns: p.cfg.MaxPatterns,
+		MaxLen:      p.cfg.MaxPatternLen,
+		MinLen:      2, // single items are already in the space
+	})
+	if err != nil {
+		return fmt.Errorf("core: mining at min_sup=%v: %w", minSup, err)
+	}
+	p.Stats.MinedCount = len(mined)
+
+	if !p.cfg.SelectPatterns {
+		p.patterns = mined
+		p.Stats.FeatureCount = len(mined)
+		return nil
+	}
+	cands := make([]featsel.Candidate, len(mined))
+	for i, pt := range mined {
+		cands[i] = featsel.Candidate{Items: pt.Items, Cover: b.Cover(pt.Items)}
+	}
+	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
+		Relevance: p.cfg.Relevance,
+		Coverage:  p.cfg.Coverage,
+	})
+	if err != nil {
+		return fmt.Errorf("core: pattern MMRFS: %w", err)
+	}
+	p.patterns = make([]mining.Pattern, len(res.Selected))
+	for i, idx := range res.Selected {
+		p.patterns[i] = mined[idx]
+	}
+	// Keep pattern feature IDs deterministic w.r.t. the mined order
+	// rather than selection order.
+	mining.SortPatterns(p.patterns)
+	p.Stats.FeatureCount = len(p.patterns)
+	return nil
+}
+
+// featureVector maps a transaction (sorted item IDs) into the fitted
+// feature space: kept items followed by matched pattern features with
+// IDs numItems+j.
+func (p *Pipeline) featureVector(tx []int32) []int32 {
+	out := make([]int32, 0, len(tx)+len(p.patterns))
+	if p.itemKept != nil {
+		for _, it := range tx {
+			if p.itemKept[it] {
+				out = append(out, it)
+			}
+		}
+	} else {
+		out = append(out, tx...)
+	}
+	for j := range p.patterns {
+		if containsAll(tx, p.patterns[j].Items) {
+			out = append(out, int32(p.numItems+j))
+		}
+	}
+	return out
+}
+
+// containsAll reports whether sorted transaction tx contains every item
+// of sorted pattern items.
+func containsAll(tx, items []int32) bool {
+	i := 0
+	for _, it := range items {
+		for i < len(tx) && tx[i] < it {
+			i++
+		}
+		if i >= len(tx) || tx[i] != it {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// PredictProb returns per-class probability estimates for the given
+// rows. Supported for SVM learners fitted with Probability enabled
+// (WithProbability); other learners return an error.
+func (p *Pipeline) PredictProb(d *dataset.Dataset, rows []int) ([][]float64, error) {
+	if p.model == nil {
+		return nil, errors.New("core: PredictProb before Fit")
+	}
+	sm, ok := p.model.(*svm.Model)
+	if !ok {
+		return nil, fmt.Errorf("core: PredictProb unsupported for learner %v", p.cfg.Learner)
+	}
+	cat, err := p.disc.Apply(d.Subset(rows))
+	if err != nil {
+		return nil, err
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(rows))
+	for i := range rows {
+		probs, err := sm.PredictProb(p.featureVector(b.Rows[i]))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = probs
+	}
+	return out, nil
+}
+
+// learn trains the configured learner on the transformed rows.
+func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
+	numFeatures := p.numItems + len(p.patterns)
+	var (
+		m   predictor
+		err error
+	)
+	switch p.cfg.Learner {
+	case C45Tree:
+		m, err = c45.Train(x, y, numClasses, p.cfg.Tree)
+	case NaiveBayes:
+		m, err = nbayes.Train(x, y, numClasses, numFeatures, nbayes.Config{})
+	case KNN:
+		m, err = knn.Train(x, y, numClasses, knn.Config{})
+	case SVMRBF:
+		m, err = svm.Train(x, y, numClasses, svm.Config{
+			C:           p.cfg.SVMC,
+			Kernel:      svm.Kernel{Type: svm.RBF, Gamma: p.cfg.RBFGamma},
+			NumFeatures: numFeatures,
+		})
+	default:
+		m, err = svm.Train(x, y, numClasses, svm.Config{
+			C:           p.cfg.SVMC,
+			NumFeatures: numFeatures,
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: %v: %w", p.cfg.Learner, err)
+	}
+	if p.cfg.Probability {
+		if sm, ok := m.(*svm.Model); ok {
+			if err := sm.CalibrateProbabilities(x, y); err != nil {
+				return fmt.Errorf("core: probability calibration: %w", err)
+			}
+		}
+	}
+	p.model = m
+	return nil
+}
+
+// Predict classifies the given rows of d with the fitted pipeline.
+func (p *Pipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
+	if p.model == nil {
+		return nil, errors.New("core: Predict before Fit")
+	}
+	test := d.Subset(rows)
+	cat, err := p.disc.Apply(test)
+	if err != nil {
+		return nil, fmt.Errorf("core: discretize test: %w", err)
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode test: %w", err)
+	}
+	if b.NumItems() != p.numItems {
+		return nil, fmt.Errorf("core: test item space %d != train %d", b.NumItems(), p.numItems)
+	}
+	out := make([]int, len(rows))
+	for i := range rows {
+		out[i] = p.model.Predict(p.featureVector(b.Rows[i]))
+	}
+	return out, nil
+}

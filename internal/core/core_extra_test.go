@@ -1,0 +1,212 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dfpc/internal/datagen"
+	"dfpc/internal/eval"
+)
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestNaiveBayesAndKNNLearners(t *testing.T) {
+	d := xorDataset(80)
+	for _, l := range []Learner{NaiveBayes, KNN} {
+		p := NewPatFS(l, 0.2)
+		if err := p.Fit(d, allRows(d.NumRows())); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		pred, err := p.Predict(d, allRows(d.NumRows()))
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		acc, _ := eval.Accuracy(pred, d.Labels)
+		if acc < 0.9 {
+			t.Fatalf("%v on XOR with patterns: accuracy %v", l, acc)
+		}
+	}
+}
+
+func TestLearnerStringers(t *testing.T) {
+	for l, want := range map[Learner]string{
+		SVMLinear:  "svm-linear",
+		SVMRBF:     "svm-rbf",
+		C45Tree:    "c4.5",
+		NaiveBayes: "naive-bayes",
+		KNN:        "knn",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+	if Learner(99).String() == "" {
+		t.Error("unknown learner stringer empty")
+	}
+}
+
+func TestExplainReportsSelectedPatterns(t *testing.T) {
+	d := xorDataset(80)
+	p := NewPatFS(SVMLinear, 0.2)
+	if err := p.Fit(d, allRows(d.NumRows())); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Explain()
+	if len(rep) == 0 {
+		t.Fatal("empty report")
+	}
+	if len(rep) != p.Stats.FeatureCount {
+		t.Fatalf("report has %d entries, selected %d", len(rep), p.Stats.FeatureCount)
+	}
+	for _, r := range rep {
+		if r.Length < 2 || len(r.Items) != r.Length {
+			t.Fatalf("bad report entry: %+v", r)
+		}
+		if !strings.Contains(r.Name, "=") || !strings.Contains(r.Name, "∧") {
+			t.Fatalf("unreadable pattern name %q", r.Name)
+		}
+		if r.Support <= 0 || r.RelSupport <= 0 || r.RelSupport > 1 {
+			t.Fatalf("bad support stats: %+v", r)
+		}
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Fatalf("bad confidence: %+v", r)
+		}
+		if r.MajorityClass != "even" && r.MajorityClass != "odd" {
+			t.Fatalf("bad majority class %q", r.MajorityClass)
+		}
+	}
+}
+
+func TestExplainEmptyForItemModels(t *testing.T) {
+	d := xorDataset(40)
+	p := NewItemAll(SVMLinear)
+	if err := p.Fit(d, allRows(d.NumRows())); err != nil {
+		t.Fatal(err)
+	}
+	if rep := p.Explain(); rep != nil {
+		t.Fatalf("Item_All should have no pattern report, got %d entries", len(rep))
+	}
+}
+
+func TestInnerModelSelection(t *testing.T) {
+	d, err := datagen.ByName("labor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		UsePatterns:    true,
+		SelectPatterns: true,
+		MinSupport:     0.3,
+		CGrid:          []float64{0.1, 1, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fit(d, allRows(d.NumRows())); err != nil {
+		t.Fatal(err)
+	}
+	sel := p.Stats.SelectedC
+	if sel != 0.1 && sel != 1 && sel != 10 {
+		t.Fatalf("SelectedC = %v, not in grid", sel)
+	}
+	if _, err := p.Predict(d, allRows(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerModelSelectionRejectsBadGrid(t *testing.T) {
+	d := xorDataset(60)
+	p, err := New(Config{CGrid: []float64{-1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fit(d, allRows(d.NumRows())); err == nil {
+		t.Fatal("negative C should error")
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	d, err := datagen.ByName("labor", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(d.NumRows())
+	run := func() []int {
+		p := NewPatFS(SVMLinear, 0.3)
+		if err := p.Fit(d, rows); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := p.Predict(d, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs across identical fits", i)
+		}
+	}
+}
+
+func TestPredictProb(t *testing.T) {
+	d := xorDataset(80)
+	p, err := New(Config{UsePatterns: true, SelectPatterns: true, MinSupport: 0.2, Probability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(d.NumRows())
+	if err := p.Fit(d, rows); err != nil {
+		t.Fatal(err)
+	}
+	probs, err := p.PredictProb(d, rows[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range probs {
+		if len(pr) != 2 {
+			t.Fatalf("row %d: %d probs", i, len(pr))
+		}
+		sum := pr[0] + pr[1]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d: probs sum %v", i, sum)
+		}
+		// The argmax must match the hard prediction.
+		hard, err := p.Predict(d, rows[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		if pr[1] > pr[0] {
+			best = 1
+		}
+		if best != hard[0] {
+			t.Fatalf("row %d: prob argmax %d != prediction %d (%v)", i, best, hard[0], pr)
+		}
+	}
+}
+
+func TestPredictProbRequiresCalibration(t *testing.T) {
+	d := xorDataset(40)
+	p := NewPatFS(SVMLinear, 0.2) // no Probability flag
+	if err := p.Fit(d, allRows(d.NumRows())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictProb(d, []int{0}); err == nil {
+		t.Fatal("expected calibration error")
+	}
+	tree := NewPatFS(C45Tree, 0.2)
+	if err := tree.Fit(d, allRows(d.NumRows())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PredictProb(d, []int{0}); err == nil {
+		t.Fatal("expected unsupported-learner error")
+	}
+}

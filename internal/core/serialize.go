@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dfpc/internal/c45"
+	"dfpc/internal/discretize"
+	"dfpc/internal/knn"
+	"dfpc/internal/mining"
+	"dfpc/internal/nbayes"
+	"dfpc/internal/svm"
+)
+
+// pipelineSnapshot is the gob-encodable form of a fitted Pipeline. The
+// learner model is nested as opaque bytes via its own BinaryMarshaler,
+// keyed by the learner kind.
+type pipelineSnapshot struct {
+	Version  int
+	Config   Config
+	Disc     []byte
+	NumItems int
+	Patterns []mining.Pattern
+	ItemKept []bool
+	Report   []FeatureReport
+	Stats    FitStats
+	Learner  Learner
+	Model    []byte
+}
+
+const snapshotVersion = 1
+
+// Save serializes a fitted pipeline so it can be reloaded with Load and
+// used for prediction without retraining. The fitted discretizer,
+// selected patterns, explanation report, and the trained model are all
+// preserved.
+func (p *Pipeline) Save(w io.Writer) error {
+	if p.model == nil {
+		return fmt.Errorf("core: Save before Fit")
+	}
+	snap := pipelineSnapshot{
+		Version:  snapshotVersion,
+		Config:   p.cfg,
+		NumItems: p.numItems,
+		Patterns: p.patterns,
+		ItemKept: p.itemKept,
+		Report:   p.report,
+		Stats:    p.Stats,
+		Learner:  p.cfg.Learner,
+	}
+	var err error
+	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
+		return err
+	}
+	type marshaler interface{ MarshalBinary() ([]byte, error) }
+	m, ok := p.model.(marshaler)
+	if !ok {
+		return fmt.Errorf("core: model %T is not serializable", p.model)
+	}
+	if snap.Model, err = m.MarshalBinary(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores a pipeline saved with Save. The returned pipeline can
+// Predict immediately; calling Fit retrains it as usual.
+func Load(r io.Reader) (*Pipeline, error) {
+	var snap pipelineSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", snap.Version)
+	}
+	p := &Pipeline{
+		cfg:      snap.Config,
+		numItems: snap.NumItems,
+		patterns: snap.Patterns,
+		itemKept: snap.ItemKept,
+		report:   snap.Report,
+		Stats:    snap.Stats,
+	}
+	p.disc = &discretize.Discretizer{}
+	if err := p.disc.UnmarshalBinary(snap.Disc); err != nil {
+		return nil, err
+	}
+	switch snap.Learner {
+	case C45Tree:
+		m := &c45.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		p.model = m
+	case NaiveBayes:
+		m := &nbayes.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		p.model = m
+	case KNN:
+		m := &knn.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		p.model = m
+	default: // SVMLinear, SVMRBF
+		m := &svm.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		p.model = m
+	}
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dfpc/internal/datagen"
+)
+
+func roundTripPipeline(t *testing.T, p *Pipeline) *Pipeline {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func TestSaveLoadAllLearners(t *testing.T) {
+	d, err := datagen.ByName("labor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(d.NumRows())
+	for _, l := range []Learner{SVMLinear, SVMRBF, C45Tree, NaiveBayes, KNN} {
+		p := NewPatFS(l, 0.3)
+		if err := p.Fit(d, rows); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		want, err := p.Predict(d, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := roundTripPipeline(t, p)
+		got, err := loaded.Predict(d, rows)
+		if err != nil {
+			t.Fatalf("%v: predict after load: %v", l, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: prediction %d changed after round trip", l, i)
+			}
+		}
+		// Explanation report survives.
+		if len(loaded.Explain()) != len(p.Explain()) {
+			t.Fatalf("%v: report lost in round trip", l)
+		}
+		if loaded.Stats.FeatureCount != p.Stats.FeatureCount {
+			t.Fatalf("%v: stats lost", l)
+		}
+	}
+}
+
+func TestSaveBeforeFit(t *testing.T) {
+	p := NewItemAll(SVMLinear)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Fatal("Save before Fit should error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadedPipelineCanRefit(t *testing.T) {
+	d, err := datagen.ByName("labor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := allRows(d.NumRows())
+	p := NewPatFS(SVMLinear, 0.3)
+	if err := p.Fit(d, rows); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTripPipeline(t, p)
+	if err := loaded.Fit(d, rows); err != nil {
+		t.Fatalf("refit after load: %v", err)
+	}
+	if _, err := loaded.Predict(d, rows[:5]); err != nil {
+		t.Fatal(err)
+	}
+}

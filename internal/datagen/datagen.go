@@ -1,0 +1,508 @@
+// Package datagen generates the synthetic stand-ins for the UCI
+// datasets the paper evaluates on (this module is offline, so the real
+// repository files cannot be fetched — see DESIGN.md §4). Each named
+// spec matches the published shape of the real dataset (instance count,
+// attribute count and mix, class count) and plants class-correlated
+// item conjunctions so that
+//
+//   - single features are weakly predictive,
+//   - a subset of frequent feature combinations is strongly predictive,
+//   - abundant low-support random conjunctions exist, creating the
+//     overfitting risk the paper analyzes.
+//
+// The dense scalability sets (Chess, Waveform, Letter) use per-class
+// attribute templates with high copy probability, which makes most
+// attribute pairs correlated and reproduces the closed-pattern
+// explosion of Tables 3–5 at low minimum support.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dfpc/internal/dataset"
+)
+
+// Planted is one class-correlated conjunction: instances of Class carry
+// Values on Attrs with probability Prob. When Values2 is non-nil, the
+// instance exhibits Values or Values2 with equal chance — a two-variant
+// pattern whose single-attribute marginals are shared by both variants
+// (weak single-feature signal) while each full conjunction stays
+// class-specific (strong combined-feature signal). This reproduces the
+// paper's core premise that feature combinations capture semantics
+// single features cannot.
+type Planted struct {
+	Class   int
+	Attrs   []int
+	Values  []int
+	Values2 []int
+	Prob    float64
+	// ProtoMix reinterprets Values/Values2 as prototype selectors: 0
+	// means "the U prototype's value on this attribute", 1 means V's.
+	// Planted values then come from the same two-value vocabulary the
+	// crossover templates use, so a pattern of one class never
+	// suppresses another class's single-item marginals — only the
+	// co-occurrence structure differs. Requires Template mode.
+	ProtoMix bool
+}
+
+// Spec describes a synthetic dataset.
+type Spec struct {
+	Name      string
+	Instances int
+	Classes   int
+	// Priors are class priors; nil means uniform.
+	Priors []float64
+	// Cat holds the cardinality of each categorical attribute.
+	Cat []int
+	// Numeric is the number of numeric attributes appended after the
+	// categorical ones.
+	Numeric int
+	// NumericInformative numeric attributes carry class signal; the
+	// rest are pure noise.
+	NumericInformative int
+	// NumericDirect of the informative attributes carry a direct
+	// class-mean shift (single-feature signal); the remainder form
+	// sign-product pairs (combined-feature signal). 0 means one third
+	// of NumericInformative.
+	NumericDirect int
+	// Patterns are the planted conjunctions. AutoPatterns can fill this
+	// in from the spec shape.
+	Patterns []Planted
+	// Template enables crossover-template mode (0 disables). Two global
+	// prototype vectors U and V are drawn (differing on every
+	// attribute); each class mixes them through a class-specific
+	// crossover mask into two complementary modes, and an instance
+	// copies attribute values from one of its class's modes with this
+	// probability. Because every attribute value appears in some mode
+	// of every class with equal probability, single-feature marginals
+	// are flat by construction; the class is encoded in which attribute
+	// PAIRS co-vary — the paper's premise that combined features carry
+	// semantics single features cannot.
+	Template float64
+	// SingleBias adds a weak per-class single-value component on top of
+	// Template mode: with this probability an attribute copies a
+	// class-specific value instead. It tunes how predictive single
+	// features are (calibrated against the paper's Item_All
+	// accuracies). Requires Template > 0 and Template+SingleBias <= 1.
+	SingleBias float64
+	// Dominance enables globally-skewed mode: each categorical
+	// attribute has a class-independent dominant value appearing with
+	// probability drawn from [Dominance−0.25, Dominance]. Highly
+	// dominant co-occurring values are what make the real Chess/
+	// Waveform/Letter data so dense that closed-pattern counts explode
+	// as min_sup drops (Tables 3–5). Mutually exclusive with Template.
+	Dominance float64
+	// MissingRate is the per-cell probability of a missing value.
+	MissingRate float64
+	Seed        int64
+}
+
+// Validate checks the spec for structural soundness.
+func (s Spec) Validate() error {
+	if s.Instances <= 0 {
+		return fmt.Errorf("datagen %s: Instances = %d", s.Name, s.Instances)
+	}
+	if s.Classes < 2 {
+		return fmt.Errorf("datagen %s: Classes = %d, want >= 2", s.Name, s.Classes)
+	}
+	if len(s.Cat)+s.Numeric == 0 {
+		return fmt.Errorf("datagen %s: no attributes", s.Name)
+	}
+	if s.Priors != nil {
+		if len(s.Priors) != s.Classes {
+			return fmt.Errorf("datagen %s: %d priors for %d classes", s.Name, len(s.Priors), s.Classes)
+		}
+		sum := 0.0
+		for _, p := range s.Priors {
+			if p < 0 {
+				return fmt.Errorf("datagen %s: negative prior", s.Name)
+			}
+			sum += p
+		}
+		if sum <= 0 {
+			return fmt.Errorf("datagen %s: priors sum to 0", s.Name)
+		}
+	}
+	for i, c := range s.Cat {
+		if c < 2 {
+			return fmt.Errorf("datagen %s: categorical attr %d has cardinality %d", s.Name, i, c)
+		}
+	}
+	for _, p := range s.Patterns {
+		if p.Class < 0 || p.Class >= s.Classes {
+			return fmt.Errorf("datagen %s: pattern class %d out of range", s.Name, p.Class)
+		}
+		if len(p.Attrs) != len(p.Values) {
+			return fmt.Errorf("datagen %s: pattern attrs/values mismatch", s.Name)
+		}
+		if p.Values2 != nil && len(p.Values2) != len(p.Attrs) {
+			return fmt.Errorf("datagen %s: pattern attrs/values2 mismatch", s.Name)
+		}
+		for j, a := range p.Attrs {
+			if a < 0 || a >= len(s.Cat) {
+				return fmt.Errorf("datagen %s: pattern attr %d out of categorical range", s.Name, a)
+			}
+			card := s.Cat[a]
+			if p.ProtoMix {
+				if s.Template <= 0 {
+					return fmt.Errorf("datagen %s: ProtoMix pattern requires Template mode", s.Name)
+				}
+				card = 2
+			}
+			if p.Values[j] < 0 || p.Values[j] >= card {
+				return fmt.Errorf("datagen %s: pattern value out of range for attr %d", s.Name, a)
+			}
+			if p.Values2 != nil && (p.Values2[j] < 0 || p.Values2[j] >= card) {
+				return fmt.Errorf("datagen %s: pattern value2 out of range for attr %d", s.Name, a)
+			}
+		}
+	}
+	if s.MissingRate < 0 || s.MissingRate >= 1 {
+		return fmt.Errorf("datagen %s: MissingRate = %v", s.Name, s.MissingRate)
+	}
+	if s.Template < 0 || s.Template > 1 {
+		return fmt.Errorf("datagen %s: Template = %v", s.Name, s.Template)
+	}
+	if s.Dominance < 0 || s.Dominance > 1 {
+		return fmt.Errorf("datagen %s: Dominance = %v", s.Name, s.Dominance)
+	}
+	if s.Template > 0 && s.Dominance > 0 {
+		return fmt.Errorf("datagen %s: Template and Dominance are mutually exclusive", s.Name)
+	}
+	if s.SingleBias < 0 || s.Template+s.SingleBias > 1 {
+		return fmt.Errorf("datagen %s: SingleBias = %v with Template = %v", s.Name, s.SingleBias, s.Template)
+	}
+	if s.SingleBias > 0 && s.Template == 0 {
+		return fmt.Errorf("datagen %s: SingleBias requires Template mode", s.Name)
+	}
+	return nil
+}
+
+// AutoPatterns populates s.Patterns with nPerClass random conjunctions
+// of length minLen..maxLen per class, derived deterministically from
+// the spec seed. Within a class, patterns are carved from consecutive
+// windows of a per-class attribute permutation so that they use
+// disjoint attributes wherever the attribute budget allows — planted
+// conjunctions then do not overwrite each other, keeping each one's
+// class correlation sharp. Existing patterns are kept.
+func (s *Spec) AutoPatterns(nPerClass, minLen, maxLen int) {
+	if len(s.Cat) == 0 {
+		return
+	}
+	r := rand.New(rand.NewSource(s.Seed ^ 0x5eed9a77))
+	for c := 0; c < s.Classes; c++ {
+		perm := r.Perm(len(s.Cat))
+		next := 0
+		for k := 0; k < nPerClass; k++ {
+			l := minLen
+			if maxLen > minLen {
+				l += r.Intn(maxLen - minLen + 1)
+			}
+			if l > len(s.Cat) {
+				l = len(s.Cat)
+			}
+			if next+l > len(perm) {
+				// Out of disjoint attribute budget: reshuffle and start a
+				// fresh segment rather than wrapping into earlier windows.
+				perm = r.Perm(len(s.Cat))
+				next = 0
+			}
+			attrs := make([]int, l)
+			copy(attrs, perm[next:next+l])
+			next += l
+			sort.Ints(attrs)
+			vals := make([]int, l)
+			vals2 := make([]int, l)
+			protoMix := s.Template > 0
+			for i, a := range attrs {
+				if protoMix {
+					// Prototype selectors; the second variant swaps U↔V
+					// in every position. Generate re-rolls selector
+					// tuples that collide with another class's
+					// crossover mode on this window.
+					vals[i] = r.Intn(2)
+					vals2[i] = 1 - vals[i]
+				} else {
+					vals[i] = r.Intn(s.Cat[a])
+					// The second variant differs in every position so the
+					// two conjunctions share no item.
+					vals2[i] = (vals[i] + 1 + r.Intn(s.Cat[a]-1)) % s.Cat[a]
+				}
+			}
+			s.Patterns = append(s.Patterns, Planted{
+				Class:    c,
+				Attrs:    attrs,
+				Values:   vals,
+				Values2:  vals2,
+				Prob:     0.8 + 0.18*r.Float64(),
+				ProtoMix: protoMix,
+			})
+		}
+	}
+}
+
+// rerollSelectors re-draws a ProtoMix pattern's selector tuple until it
+// differs from both crossover modes of every class other than its own,
+// restricted to the pattern's attributes (up to a bounded number of
+// attempts; the best-mismatching draw wins if perfection is
+// impossible). Mode 0 of class c selects U where crossMask[c][a] is
+// true; mode 1 is the complement.
+func rerollSelectors(p Planted, crossMask [][]bool, r *rand.Rand) Planted {
+	conflicts := func(vals []int) int {
+		n := 0
+		for c := range crossMask {
+			if c == p.Class {
+				continue
+			}
+			for mode := 0; mode < 2; mode++ {
+				match := true
+				for j, a := range p.Attrs {
+					sel := 0 // 0 = U
+					if crossMask[c][a] == (mode == 1) {
+						sel = 1 // V
+					}
+					if vals[j] != sel {
+						match = false
+						break
+					}
+				}
+				if match {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	best := append([]int(nil), p.Values...)
+	bestConf := conflicts(best)
+	for attempt := 0; attempt < 32 && bestConf > 0; attempt++ {
+		cand := make([]int, len(p.Attrs))
+		for j := range cand {
+			cand[j] = r.Intn(2)
+		}
+		if c := conflicts(cand); c < bestConf {
+			best, bestConf = cand, c
+		}
+	}
+	p.Values = best
+	v2 := make([]int, len(best))
+	for j := range best {
+		v2[j] = 1 - best[j]
+	}
+	p.Values2 = v2
+	return p
+}
+
+// Generate builds the dataset described by the spec.
+func Generate(s Spec) (*dataset.Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(s.Seed))
+
+	d := &dataset.Dataset{Name: s.Name}
+	for i, card := range s.Cat {
+		attr := dataset.Attribute{Name: fmt.Sprintf("c%02d", i), Kind: dataset.Categorical}
+		for v := 0; v < card; v++ {
+			attr.Values = append(attr.Values, fmt.Sprintf("v%d", v))
+		}
+		d.Attrs = append(d.Attrs, attr)
+	}
+	for i := 0; i < s.Numeric; i++ {
+		d.Attrs = append(d.Attrs, dataset.Attribute{Name: fmt.Sprintf("n%02d", i), Kind: dataset.Numeric})
+	}
+	for c := 0; c < s.Classes; c++ {
+		d.Classes = append(d.Classes, fmt.Sprintf("class%d", c))
+	}
+
+	priors := s.Priors
+	if priors == nil {
+		priors = make([]float64, s.Classes)
+		for c := range priors {
+			priors[c] = 1
+		}
+	}
+	cum := make([]float64, len(priors))
+	total := 0.0
+	for c, p := range priors {
+		total += p
+		cum[c] = total
+	}
+
+	// Crossover-template machinery: global prototypes U and V, per-class
+	// crossover masks, and per-class single-bias values.
+	var protoU, protoV []int
+	var crossMask [][]bool // [class][attr]: mode 0 takes U where true, V where false
+	var singleTmpl [][]int
+	if s.Template > 0 {
+		protoU = make([]int, len(s.Cat))
+		protoV = make([]int, len(s.Cat))
+		for a, card := range s.Cat {
+			protoU[a] = r.Intn(card)
+			protoV[a] = (protoU[a] + 1 + r.Intn(card-1)) % card
+		}
+		crossMask = make([][]bool, s.Classes)
+		singleTmpl = make([][]int, s.Classes)
+		for c := range crossMask {
+			crossMask[c] = make([]bool, len(s.Cat))
+			singleTmpl[c] = make([]int, len(s.Cat))
+			for a, card := range s.Cat {
+				crossMask[c][a] = r.Intn(2) == 0
+				singleTmpl[c][a] = r.Intn(card)
+			}
+		}
+	}
+	// Per-attribute dominant values for globally-skewed mode.
+	var domValue []int
+	var domProb []float64
+	if s.Dominance > 0 {
+		domValue = make([]int, len(s.Cat))
+		domProb = make([]float64, len(s.Cat))
+		for a, card := range s.Cat {
+			domValue[a] = r.Intn(card)
+			lo := s.Dominance - 0.25
+			if lo < 0 {
+				lo = 0
+			}
+			domProb[a] = lo + (s.Dominance-lo)*r.Float64()
+		}
+	}
+
+	// Patterns grouped by class. ProtoMix selector tuples are re-rolled
+	// here (where the crossover masks are known) until the primary
+	// variant does not coincide with any other class's crossover mode on
+	// the pattern's window — otherwise that class's template instances
+	// would satisfy the conjunction and dilute its purity.
+	byClass := make([][]Planted, s.Classes)
+	for _, p := range s.Patterns {
+		if p.ProtoMix && crossMask != nil {
+			p = rerollSelectors(p, crossMask, r)
+		}
+		byClass[p.Class] = append(byClass[p.Class], p)
+	}
+
+	nCat := len(s.Cat)
+	for i := 0; i < s.Instances; i++ {
+		// Draw class from priors.
+		u := r.Float64() * total
+		y := sort.SearchFloat64s(cum, u)
+		if y >= s.Classes {
+			y = s.Classes - 1
+		}
+
+		row := make([]float64, nCat+s.Numeric)
+		// Categorical baseline: single-bias copy, crossover-mode copy,
+		// dominant value, or uniform noise.
+		mode := r.Intn(2)
+		for a, card := range s.Cat {
+			u := r.Float64()
+			switch {
+			case protoU != nil && u < s.SingleBias:
+				row[a] = float64(singleTmpl[y][a])
+			case protoU != nil && u < s.SingleBias+s.Template:
+				// Mode 0 follows the mask, mode 1 its complement.
+				takeU := crossMask[y][a] == (mode == 0)
+				if takeU {
+					row[a] = float64(protoU[a])
+				} else {
+					row[a] = float64(protoV[a])
+				}
+			case domValue != nil && r.Float64() < domProb[a]:
+				row[a] = float64(domValue[a])
+			default:
+				row[a] = float64(r.Intn(card))
+			}
+		}
+		// Plant the class's conjunctions. Two-variant patterns use an
+		// asymmetric 70/30 split: the primary variant keeps enough
+		// support to sit in the high-IG region of the support/IG
+		// envelope (Figure 2), while the secondary variant still damps
+		// the single-item marginals below the conjunction's purity.
+		for _, p := range byClass[y] {
+			if r.Float64() < p.Prob {
+				vals := p.Values
+				if p.Values2 != nil && r.Float64() < 0.2 {
+					vals = p.Values2
+				}
+				for j, a := range p.Attrs {
+					v := vals[j]
+					if p.ProtoMix {
+						if v == 0 {
+							v = protoU[a]
+						} else {
+							v = protoV[a]
+						}
+					}
+					row[a] = float64(v)
+				}
+			}
+		}
+		// Numeric attributes. Informative ones split into two groups:
+		//
+		//   - "direct" attributes (one third) carry a clear class-mean
+		//     shift, the single-feature signal real UCI data has;
+		//   - the rest come in pairs sharing a latent sign s ∈ {−1,+1}:
+		//     the even attribute carries s, the odd one carries s × bit
+		//     p of the class index. Each marginal is a class-independent
+		//     symmetric mixture, while the pair's sign product encodes
+		//     one class bit — the numeric analogue of the paper's XOR
+		//     motivation, recoverable only by conjunctions of
+		//     discretized bins.
+		direct := s.NumericDirect
+		if direct == 0 {
+			direct = s.NumericInformative / 3
+		}
+		if direct > s.NumericInformative {
+			direct = s.NumericInformative
+		}
+		nPairs := (s.NumericInformative - direct + 1) / 2
+		signs := make([]float64, nPairs)
+		for p := range signs {
+			signs[p] = 1
+			if r.Intn(2) == 0 {
+				signs[p] = -1
+			}
+		}
+		classShift := 0.0
+		if s.Classes > 1 {
+			classShift = (float64(y) - float64(s.Classes-1)/2) / float64(s.Classes-1)
+		}
+		for k := 0; k < s.Numeric; k++ {
+			v := r.NormFloat64()
+			switch {
+			case k < direct:
+				v = 1.2*classShift + r.NormFloat64()
+			case k < s.NumericInformative:
+				kp := k - direct
+				pair := kp / 2
+				bit := 1.0
+				if (y>>uint(pair%8))&1 == 1 {
+					bit = -1
+				}
+				if kp%2 == 0 {
+					v = signs[pair] + 0.45*r.NormFloat64()
+				} else {
+					v = signs[pair]*bit + 0.45*r.NormFloat64()
+				}
+				v += 0.35 * classShift
+			}
+			row[nCat+k] = v
+		}
+		// Missing cells.
+		if s.MissingRate > 0 {
+			for a := range row {
+				if r.Float64() < s.MissingRate {
+					row[a] = dataset.Missing
+				}
+			}
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

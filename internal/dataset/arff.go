@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadARFF parses a dataset in Weka's ARFF format — the format of the
+// toolchain the paper's experiments used (C4.5 via Weka). Supported
+// subset: @relation, @attribute with nominal ("{a,b,c}") or numeric
+// ("numeric"/"real"/"integer") types, and a dense @data section with
+// "?" for missing values. The last attribute is the class and must be
+// nominal. Lines starting with '%' are comments.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	d := &Dataset{}
+	inData := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				d.Name = strings.Trim(strings.TrimSpace(line[len("@relation"):]), `"'`)
+			case strings.HasPrefix(lower, "@attribute"):
+				attr, err := parseARFFAttribute(line)
+				if err != nil {
+					return nil, fmt.Errorf("arff line %d: %w", lineNo, err)
+				}
+				d.Attrs = append(d.Attrs, attr)
+			case strings.HasPrefix(lower, "@data"):
+				if len(d.Attrs) < 2 {
+					return nil, fmt.Errorf("arff line %d: need at least two attributes before @data", lineNo)
+				}
+				class := d.Attrs[len(d.Attrs)-1]
+				if class.Kind != Categorical {
+					return nil, fmt.Errorf("arff: class attribute %q must be nominal", class.Name)
+				}
+				d.Classes = class.Values
+				d.Attrs = d.Attrs[:len(d.Attrs)-1]
+				inData = true
+			default:
+				return nil, fmt.Errorf("arff line %d: unsupported declaration %q", lineNo, line)
+			}
+			continue
+		}
+		row, label, err := parseARFFRow(d, line)
+		if err != nil {
+			return nil, fmt.Errorf("arff line %d: %w", lineNo, err)
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("arff: %w", err)
+	}
+	if !inData {
+		return nil, fmt.Errorf("arff: missing @data section")
+	}
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("arff: no data rows")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseARFFAttribute parses one @attribute declaration.
+func parseARFFAttribute(line string) (Attribute, error) {
+	rest := strings.TrimSpace(line[len("@attribute"):])
+	if rest == "" {
+		return Attribute{}, fmt.Errorf("empty attribute declaration")
+	}
+	// Attribute name: quoted or bare token.
+	var name string
+	if rest[0] == '\'' || rest[0] == '"' {
+		quote := rest[0]
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return Attribute{}, fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[2+end:])
+	} else {
+		fields := strings.Fields(rest)
+		name = fields[0]
+		rest = strings.TrimSpace(rest[len(fields[0]):])
+	}
+	if rest == "" {
+		return Attribute{}, fmt.Errorf("attribute %q missing a type", name)
+	}
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return Attribute{}, fmt.Errorf("attribute %q: unterminated nominal value list", name)
+		}
+		var values []string
+		for _, v := range strings.Split(rest[1:end], ",") {
+			values = append(values, strings.Trim(strings.TrimSpace(v), `"'`))
+		}
+		if len(values) == 0 {
+			return Attribute{}, fmt.Errorf("attribute %q: empty nominal value list", name)
+		}
+		return Attribute{Name: name, Kind: Categorical, Values: values}, nil
+	}
+	switch strings.ToLower(strings.Fields(rest)[0]) {
+	case "numeric", "real", "integer":
+		return Attribute{Name: name, Kind: Numeric}, nil
+	default:
+		return Attribute{}, fmt.Errorf("attribute %q: unsupported type %q", name, rest)
+	}
+}
+
+// parseARFFRow parses one dense data row.
+func parseARFFRow(d *Dataset, line string) ([]float64, int, error) {
+	fields := splitARFFFields(line)
+	if len(fields) != len(d.Attrs)+1 {
+		return nil, 0, fmt.Errorf("row has %d fields, want %d", len(fields), len(d.Attrs)+1)
+	}
+	row := make([]float64, len(d.Attrs))
+	for j, attr := range d.Attrs {
+		cell := fields[j]
+		if cell == "?" {
+			row[j] = Missing
+			continue
+		}
+		if attr.Kind == Numeric {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("attribute %q: %w", attr.Name, err)
+			}
+			row[j] = v
+			continue
+		}
+		idx := -1
+		for vi, val := range attr.Values {
+			if val == cell {
+				idx = vi
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, 0, fmt.Errorf("attribute %q: undeclared value %q", attr.Name, cell)
+		}
+		row[j] = float64(idx)
+	}
+	labelCell := fields[len(fields)-1]
+	if labelCell == "?" {
+		return nil, 0, fmt.Errorf("missing class label")
+	}
+	label := -1
+	for ci, cls := range d.Classes {
+		if cls == labelCell {
+			label = ci
+			break
+		}
+	}
+	if label < 0 {
+		return nil, 0, fmt.Errorf("undeclared class %q", labelCell)
+	}
+	return row, label, nil
+}
+
+// splitARFFFields splits a dense row on commas, honouring single
+// quotes, and trims whitespace/quotes per field.
+func splitARFFFields(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\'':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			fields = append(fields, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, strings.TrimSpace(cur.String()))
+	return fields
+}
+
+// WriteARFF writes the dataset in ARFF format (nominal class appended
+// as the last attribute).
+func WriteARFF(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation '%s'\n\n", d.Name)
+	for _, a := range d.Attrs {
+		if a.Kind == Numeric {
+			fmt.Fprintf(bw, "@attribute '%s' numeric\n", a.Name)
+		} else {
+			fmt.Fprintf(bw, "@attribute '%s' {%s}\n", a.Name, strings.Join(a.Values, ","))
+		}
+	}
+	fmt.Fprintf(bw, "@attribute 'class' {%s}\n\n@data\n", strings.Join(d.Classes, ","))
+	for i, row := range d.Rows {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			switch {
+			case IsMissing(v):
+				bw.WriteByte('?')
+			case d.Attrs[j].Kind == Categorical:
+				bw.WriteString(d.Attrs[j].Values[int(v)])
+			default:
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte(',')
+		bw.WriteString(d.Classes[d.Labels[i]])
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleARFF = `% UCI-style sample
+@relation 'weather'
+
+@attribute outlook {sunny, overcast, rainy}
+@attribute temperature numeric
+@attribute 'wind speed' real
+@attribute play {yes, no}
+
+@data
+sunny, 30.5, 1.2, no
+overcast, 21, ?, yes
+rainy, ?, 3.5, yes
+sunny, 25, 0.1, no
+`
+
+func TestReadARFF(t *testing.T) {
+	d, err := ReadARFF(strings.NewReader(sampleARFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "weather" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if d.NumRows() != 4 || d.NumAttrs() != 3 || d.NumClasses() != 2 {
+		t.Fatalf("shape (%d,%d,%d)", d.NumRows(), d.NumAttrs(), d.NumClasses())
+	}
+	if d.Attrs[0].Kind != Categorical || len(d.Attrs[0].Values) != 3 {
+		t.Fatalf("outlook attr = %+v", d.Attrs[0])
+	}
+	if d.Attrs[1].Kind != Numeric || d.Attrs[2].Kind != Numeric {
+		t.Fatal("numeric attrs misparsed")
+	}
+	if d.Attrs[2].Name != "wind speed" {
+		t.Fatalf("quoted name = %q", d.Attrs[2].Name)
+	}
+	if !IsMissing(d.Rows[1][2]) || !IsMissing(d.Rows[2][1]) {
+		t.Fatal("missing cells lost")
+	}
+	if d.Rows[0][1] != 30.5 {
+		t.Fatalf("numeric cell = %v", d.Rows[0][1])
+	}
+	if d.Classes[d.Labels[0]] != "no" || d.Classes[d.Labels[1]] != "yes" {
+		t.Fatal("labels misparsed")
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no data section":  "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n",
+		"no rows":          "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n@data\n",
+		"numeric class":    "@relation x\n@attribute a {0,1}\n@attribute class numeric\n@data\n0,1\n",
+		"bad field count":  "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n@data\n0\n",
+		"undeclared value": "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n@data\n7,y\n",
+		"undeclared class": "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n@data\n0,zzz\n",
+		"missing label":    "@relation x\n@attribute a {0,1}\n@attribute class {y,n}\n@data\n0,?\n",
+		"bad declaration":  "@relation x\n@bogus\n",
+		"unsupported type": "@relation x\n@attribute a string\n@attribute class {y,n}\n@data\nfoo,y\n",
+		"one attribute":    "@relation x\n@attribute class {y,n}\n@data\ny\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadARFF(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d, err := ReadARFF(strings.NewReader(sampleARFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteARFF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if d2.NumRows() != d.NumRows() || d2.NumAttrs() != d.NumAttrs() || d2.NumClasses() != d.NumClasses() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range d.Rows {
+		if d.Labels[i] != d2.Labels[i] {
+			t.Fatalf("row %d label changed", i)
+		}
+		for j := range d.Rows[i] {
+			a, b := d.Rows[i][j], d2.Rows[i][j]
+			if IsMissing(a) != IsMissing(b) {
+				t.Fatalf("row %d col %d missing flag changed", i, j)
+			}
+			if !IsMissing(a) && a != b {
+				t.Fatalf("row %d col %d: %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestARFFCommentsAndBlanksIgnored(t *testing.T) {
+	src := "% header comment\n\n@relation x\n% another\n@attribute a {0,1}\n@attribute class {y,n}\n\n@data\n% data comment\n0,y\n\n1,n\n"
+	d, err := ReadARFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", d.NumRows())
+	}
+}

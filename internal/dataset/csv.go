@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// missingToken is the CSV representation of a missing cell, matching the
+// UCI convention.
+const missingToken = "?"
+
+// ReadCSV parses a dataset from CSV. The first record is a header; the
+// last column is the class label. Column types are inferred: a column is
+// Numeric iff every non-missing cell parses as a float; otherwise it is
+// Categorical with values in first-appearance order.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv %s: %w", name, err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("read csv %s: need header plus at least one row", name)
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("read csv %s: need at least one attribute column plus class", name)
+	}
+	nAttrs := len(header) - 1
+	rows := records[1:]
+
+	numeric := make([]bool, nAttrs)
+	for j := 0; j < nAttrs; j++ {
+		numeric[j] = true
+		seen := false
+		for _, rec := range rows {
+			if len(rec) != len(header) {
+				return nil, fmt.Errorf("read csv %s: row has %d fields, want %d", name, len(rec), len(header))
+			}
+			cell := strings.TrimSpace(rec[j])
+			if cell == missingToken || cell == "" {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				numeric[j] = false
+				break
+			}
+		}
+		if !seen {
+			numeric[j] = false // all-missing column: treat as categorical with no values
+		}
+	}
+
+	d := &Dataset{Name: name, Attrs: make([]Attribute, nAttrs)}
+	catIndex := make([]map[string]int, nAttrs)
+	for j := 0; j < nAttrs; j++ {
+		kind := Categorical
+		if numeric[j] {
+			kind = Numeric
+		}
+		d.Attrs[j] = Attribute{Name: strings.TrimSpace(header[j]), Kind: kind}
+		catIndex[j] = make(map[string]int)
+	}
+	classIndex := make(map[string]int)
+
+	for i, rec := range rows {
+		row := make([]float64, nAttrs)
+		for j := 0; j < nAttrs; j++ {
+			cell := strings.TrimSpace(rec[j])
+			if cell == missingToken || cell == "" {
+				row[j] = Missing
+				continue
+			}
+			if numeric[j] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("read csv %s row %d col %d: %w", name, i+1, j, err)
+				}
+				row[j] = v
+			} else {
+				vi, ok := catIndex[j][cell]
+				if !ok {
+					vi = len(d.Attrs[j].Values)
+					catIndex[j][cell] = vi
+					d.Attrs[j].Values = append(d.Attrs[j].Values, cell)
+				}
+				row[j] = float64(vi)
+			}
+		}
+		label := strings.TrimSpace(rec[nAttrs])
+		if label == missingToken || label == "" {
+			return nil, fmt.Errorf("read csv %s row %d: missing class label", name, i+1)
+		}
+		yi, ok := classIndex[label]
+		if !ok {
+			yi = len(d.Classes)
+			classIndex[label] = yi
+			d.Classes = append(d.Classes, label)
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, yi)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row; the class label
+// is the last column. Missing cells are written as "?".
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Attrs)+1)
+	for _, a := range d.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(d.Attrs)+1)
+	for i, row := range d.Rows {
+		for j, v := range row {
+			switch {
+			case IsMissing(v):
+				rec[j] = missingToken
+			case d.Attrs[j].Kind == Categorical:
+				rec[j] = d.Attrs[j].Values[int(v)]
+			default:
+				rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		rec[len(d.Attrs)] = d.Classes[d.Labels[i]]
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `color,weight,label
+red,1.5,pos
+green,2.0,neg
+red,?,pos
+blue,3.25,neg
+`
+
+func TestReadCSV(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 4 || d.NumAttrs() != 2 || d.NumClasses() != 2 {
+		t.Fatalf("shape (%d,%d,%d)", d.NumRows(), d.NumAttrs(), d.NumClasses())
+	}
+	if d.Attrs[0].Kind != Categorical || d.Attrs[1].Kind != Numeric {
+		t.Fatalf("kinds = %v,%v", d.Attrs[0].Kind, d.Attrs[1].Kind)
+	}
+	if len(d.Attrs[0].Values) != 3 {
+		t.Fatalf("color values = %v", d.Attrs[0].Values)
+	}
+	if !IsMissing(d.Rows[2][1]) {
+		t.Fatal("row 2 weight should be missing")
+	}
+	if d.Rows[3][1] != 3.25 {
+		t.Fatalf("row 3 weight = %v", d.Rows[3][1])
+	}
+	if d.Classes[d.Labels[0]] != "pos" || d.Classes[d.Labels[1]] != "neg" {
+		t.Fatal("labels mis-assigned")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"header only":   "a,b,label\n",
+		"one column":    "label\nx\n",
+		"missing label": "a,label\n1,?\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), name); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader(sampleCSV), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCSV(&buf, "sample2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumRows() != d.NumRows() || d2.NumAttrs() != d.NumAttrs() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range d.Rows {
+		if d.Labels[i] != d2.Labels[i] {
+			t.Fatalf("row %d label changed", i)
+		}
+		for j := range d.Rows[i] {
+			a, b := d.Rows[i][j], d2.Rows[i][j]
+			if IsMissing(a) != IsMissing(b) {
+				t.Fatalf("row %d col %d missing flag changed", i, j)
+			}
+			if !IsMissing(a) && a != b {
+				t.Fatalf("row %d col %d: %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestWriteCSVCategoricalNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "green,l,no") {
+		t.Fatalf("output missing expected row:\n%s", out)
+	}
+	if !strings.Contains(out, "red,?,yes") {
+		t.Fatalf("output missing missing-cell row:\n%s", out)
+	}
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import "fmt"
+
+// rng is a small deterministic xorshift64* generator so fold assignment
+// is reproducible across runs and platforms without math/rand.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: s}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// shuffle permutes idx in place (Fisher–Yates).
+func (r *rng) shuffle(idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// StratifiedKFold partitions row indices into k folds preserving the
+// class distribution: within each class, shuffled rows are dealt
+// round-robin to the folds. The paper evaluates with 10-fold cross
+// validation (Section 4). Every row appears in exactly one fold.
+func StratifiedKFold(labels []int, numClasses, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("stratified k-fold: k = %d, want >= 2", k)
+	}
+	if len(labels) < k {
+		return nil, fmt.Errorf("stratified k-fold: %d rows < %d folds", len(labels), k)
+	}
+	byClass := make([][]int, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, fmt.Errorf("stratified k-fold: label %d out of range [0,%d)", y, numClasses)
+		}
+		byClass[y] = append(byClass[y], i)
+	}
+	r := newRNG(seed)
+	folds := make([][]int, k)
+	// offset rotates the starting fold per class so small classes do
+	// not all pile into fold 0.
+	offset := 0
+	for _, rows := range byClass {
+		r.shuffle(rows)
+		for i, row := range rows {
+			f := (i + offset) % k
+			folds[f] = append(folds[f], row)
+		}
+		offset += len(rows) % k
+	}
+	return folds, nil
+}
+
+// TrainTestFromFolds returns the train rows (all folds except test) and
+// the test rows for fold index test.
+func TrainTestFromFolds(folds [][]int, test int) (train, testRows []int) {
+	for f, rows := range folds {
+		if f == test {
+			testRows = append(testRows, rows...)
+		} else {
+			train = append(train, rows...)
+		}
+	}
+	return train, testRows
+}
+
+// StratifiedSplit returns a single train/test split with approximately
+// testFrac of each class in the test set.
+func StratifiedSplit(labels []int, numClasses int, testFrac float64, seed int64) (train, test []int, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("stratified split: testFrac = %v, want (0,1)", testFrac)
+	}
+	byClass := make([][]int, numClasses)
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			return nil, nil, fmt.Errorf("stratified split: label %d out of range [0,%d)", y, numClasses)
+		}
+		byClass[y] = append(byClass[y], i)
+	}
+	r := newRNG(seed)
+	for _, rows := range byClass {
+		r.shuffle(rows)
+		nTest := int(float64(len(rows))*testFrac + 0.5)
+		if nTest >= len(rows) && len(rows) > 1 {
+			nTest = len(rows) - 1
+		}
+		test = append(test, rows[:nTest]...)
+		train = append(train, rows[nTest:]...)
+	}
+	return train, test, nil
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStratifiedKFoldPartition(t *testing.T) {
+	labels := make([]int, 100)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	folds, err := StratifiedKFold(labels, 3, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d, want 10", len(folds))
+	}
+	seen := make([]bool, 100)
+	for _, fold := range folds {
+		for _, row := range fold {
+			if seen[row] {
+				t.Fatalf("row %d in multiple folds", row)
+			}
+			seen[row] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("row %d in no fold", i)
+		}
+	}
+}
+
+func TestStratifiedKFoldBalance(t *testing.T) {
+	// 60/40 class split over 200 rows, 10 folds: each fold should hold
+	// roughly 12 of class 0 and 8 of class 1.
+	labels := make([]int, 200)
+	for i := 120; i < 200; i++ {
+		labels[i] = 1
+	}
+	folds, err := StratifiedKFold(labels, 2, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, fold := range folds {
+		c0 := 0
+		for _, row := range fold {
+			if labels[row] == 0 {
+				c0++
+			}
+		}
+		if c0 != 12 {
+			t.Errorf("fold %d: class-0 count = %d, want 12", f, c0)
+		}
+	}
+}
+
+func TestStratifiedKFoldDeterministic(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	a, _ := StratifiedKFold(labels, 2, 5, 99)
+	b, _ := StratifiedKFold(labels, 2, 5, 99)
+	for f := range a {
+		if len(a[f]) != len(b[f]) {
+			t.Fatal("non-deterministic fold sizes")
+		}
+		for i := range a[f] {
+			if a[f][i] != b[f][i] {
+				t.Fatal("non-deterministic fold contents")
+			}
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 2, 1, 1); err == nil {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := StratifiedKFold([]int{0}, 1, 2, 1); err == nil {
+		t.Fatal("fewer rows than folds should error")
+	}
+	if _, err := StratifiedKFold([]int{0, 5}, 2, 2, 1); err == nil {
+		t.Fatal("out-of-range label should error")
+	}
+}
+
+func TestTrainTestFromFolds(t *testing.T) {
+	folds := [][]int{{0, 1}, {2, 3}, {4}}
+	train, test := TrainTestFromFolds(folds, 1)
+	if len(train) != 3 || len(test) != 2 {
+		t.Fatalf("train=%v test=%v", train, test)
+	}
+	if test[0] != 2 || test[1] != 3 {
+		t.Fatalf("test = %v", test)
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 50; i < 100; i++ {
+		labels[i] = 1
+	}
+	train, test, err := StratifiedSplit(labels, 2, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != 100 {
+		t.Fatalf("partition sizes %d+%d", len(train), len(test))
+	}
+	c0 := 0
+	for _, row := range test {
+		if labels[row] == 0 {
+			c0++
+		}
+	}
+	if c0 != 10 || len(test) != 20 {
+		t.Fatalf("test class-0 = %d of %d, want 10 of 20", c0, len(test))
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	if _, _, err := StratifiedSplit([]int{0, 1}, 2, 0, 1); err == nil {
+		t.Fatal("testFrac=0 should error")
+	}
+	if _, _, err := StratifiedSplit([]int{0, 1}, 2, 1, 1); err == nil {
+		t.Fatal("testFrac=1 should error")
+	}
+}
+
+func TestQuickKFoldAlwaysPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(200)
+		classes := 2 + r.Intn(4)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(classes)
+		}
+		k := 2 + r.Intn(8)
+		folds, err := StratifiedKFold(labels, classes, k, seed)
+		if err != nil {
+			return false
+		}
+		total := 0
+		seen := make([]bool, n)
+		for _, fold := range folds {
+			for _, row := range fold {
+				if seen[row] {
+					return false
+				}
+				seen[row] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

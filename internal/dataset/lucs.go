@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadLUCS parses the LUCS-KDD DN ("discretized/normalized") format the
+// paper's footnote cites for the Letter Recognition data: one
+// transaction per line as space-separated 1-based item numbers in
+// ascending order, with the class encoded as the line's last item
+// (class items occupy the highest item numbers, one per class).
+//
+// The result is a Dataset with one single-valued categorical attribute
+// per non-class item; a transaction's absent items become missing
+// cells, so the binary encoding reproduces the original transactions
+// exactly (one binary item per LUCS item).
+func ReadLUCS(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var rows [][]int // item lists, 1-based
+	var classItems []int
+	classSeen := map[int]bool{}
+	maxItem := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("lucs %s line %d: need at least one item plus the class item", name, lineNo)
+		}
+		items := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("lucs %s line %d: bad item %q", name, lineNo, f)
+			}
+			items[i] = v
+		}
+		for i := 1; i < len(items); i++ {
+			if items[i] <= items[i-1] {
+				return nil, fmt.Errorf("lucs %s line %d: items not strictly ascending", name, lineNo)
+			}
+		}
+		cls := items[len(items)-1]
+		if !classSeen[cls] {
+			classSeen[cls] = true
+			classItems = append(classItems, cls)
+		}
+		body := items[:len(items)-1]
+		if len(body) > 0 && body[len(body)-1] > maxItem {
+			maxItem = body[len(body)-1]
+		}
+		rows = append(rows, items)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lucs %s: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("lucs %s: no transactions", name)
+	}
+	sort.Ints(classItems)
+	// Class items must sit above every body item (the format's
+	// convention); otherwise the class column is ambiguous.
+	if classItems[0] <= maxItem {
+		return nil, fmt.Errorf("lucs %s: class item %d overlaps body items (max %d)", name, classItems[0], maxItem)
+	}
+	classIndex := map[int]int{}
+	d := &Dataset{Name: name}
+	for i, c := range classItems {
+		classIndex[c] = i
+		d.Classes = append(d.Classes, fmt.Sprintf("class%d", c))
+	}
+	for it := 1; it <= maxItem; it++ {
+		d.Attrs = append(d.Attrs, Attribute{
+			Name:   fmt.Sprintf("item%d", it),
+			Kind:   Categorical,
+			Values: []string{"1"},
+		})
+	}
+	for _, items := range rows {
+		row := make([]float64, maxItem)
+		for a := range row {
+			row[a] = Missing
+		}
+		for _, it := range items[:len(items)-1] {
+			row[it-1] = 0 // the attribute's single value
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, classIndex[items[len(items)-1]])
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteLUCS writes a fully categorical, single-valued-attribute dataset
+// (as produced by ReadLUCS) back to the LUCS-KDD DN format.
+func WriteLUCS(w io.Writer, d *Dataset) error {
+	for _, a := range d.Attrs {
+		if a.Kind != Categorical || len(a.Values) != 1 {
+			return fmt.Errorf("lucs: attribute %q is not a single-valued presence attribute", a.Name)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	classBase := len(d.Attrs) + 1
+	for i, row := range d.Rows {
+		first := true
+		for a, v := range row {
+			if IsMissing(v) {
+				continue
+			}
+			if !first {
+				bw.WriteByte(' ')
+			}
+			first = false
+			bw.WriteString(strconv.Itoa(a + 1))
+		}
+		if !first {
+			bw.WriteByte(' ')
+		}
+		bw.WriteString(strconv.Itoa(classBase + d.Labels[i]))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleLUCS = `1 3 5 17
+2 3 6 18
+1 4 5 17
+2 4 6 18
+`
+
+func TestReadLUCS(t *testing.T) {
+	d, err := ReadLUCS(strings.NewReader(sampleLUCS), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 4 || d.NumClasses() != 2 {
+		t.Fatalf("shape (%d, %d)", d.NumRows(), d.NumClasses())
+	}
+	if d.NumAttrs() != 6 {
+		t.Fatalf("attrs = %d, want 6 (max body item)", d.NumAttrs())
+	}
+	// Binary encoding must reproduce the original transactions.
+	b, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumItems() != 6 {
+		t.Fatalf("items = %d, want 6", b.NumItems())
+	}
+	// Row 0 was items {1,3,5} → 0-based {0,2,4}.
+	if len(b.Rows[0]) != 3 || b.Rows[0][0] != 0 || b.Rows[0][1] != 2 || b.Rows[0][2] != 4 {
+		t.Fatalf("row 0 = %v", b.Rows[0])
+	}
+	if d.Labels[0] != 0 || d.Labels[1] != 1 {
+		t.Fatalf("labels = %v", d.Labels[:2])
+	}
+}
+
+func TestReadLUCSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"single item":    "17\n",
+		"non-numeric":    "1 x 17\n",
+		"zero item":      "0 17\n",
+		"not ascending":  "3 1 17\n",
+		"class overlaps": "1 2 3\n1 2 4\n2 3 4\n", // class item 3 also appears as body item
+	}
+	for name, data := range cases {
+		if _, err := ReadLUCS(strings.NewReader(data), name); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLUCSRoundTrip(t *testing.T) {
+	d, err := ReadLUCS(strings.NewReader(sampleLUCS), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLUCS(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadLUCS(&buf, "toy2")
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if d2.NumRows() != d.NumRows() || d2.NumClasses() != d.NumClasses() {
+		t.Fatal("round trip changed shape")
+	}
+	b1, _ := Encode(d)
+	b2, _ := Encode(d2)
+	for i := range b1.Rows {
+		if len(b1.Rows[i]) != len(b2.Rows[i]) {
+			t.Fatalf("row %d changed", i)
+		}
+		for j := range b1.Rows[i] {
+			if b1.Rows[i][j] != b2.Rows[i][j] {
+				t.Fatalf("row %d item %d changed", i, j)
+			}
+		}
+		if d.Labels[i] != d2.Labels[i] {
+			t.Fatalf("row %d label changed", i)
+		}
+	}
+}
+
+func TestWriteLUCSRejectsGeneralDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLUCS(&buf, tiny()); err == nil {
+		t.Fatal("multi-valued attributes should be rejected")
+	}
+}

@@ -1,0 +1,112 @@
+package discretize
+
+import (
+	"math"
+	"sort"
+)
+
+// chiMergeCuts implements ChiMerge (Kerber, AAAI'92): intervals start
+// as the distinct sorted values and adjacent intervals are repeatedly
+// merged while the chi-squared statistic of their class distributions
+// stays below the significance threshold — i.e. while the data cannot
+// distinguish them — or while more than maxIntervals remain.
+func chiMergeCuts(vals []float64, labels []int, numClasses int, threshold float64, maxIntervals int) []float64 {
+	if len(vals) == 0 || numClasses < 1 {
+		return nil
+	}
+	if maxIntervals < 2 {
+		maxIntervals = 2
+	}
+	type iv struct {
+		lo, hi float64
+		counts []float64
+		total  float64
+	}
+	// Group identical values.
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, len(vals))
+	for i := range vals {
+		pairs[i] = pair{vals[i], labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	var ivs []*iv
+	for _, p := range pairs {
+		if len(ivs) > 0 && ivs[len(ivs)-1].hi == p.v {
+			last := ivs[len(ivs)-1]
+			last.counts[p.y]++
+			last.total++
+			continue
+		}
+		c := make([]float64, numClasses)
+		c[p.y] = 1
+		ivs = append(ivs, &iv{lo: p.v, hi: p.v, counts: c, total: 1})
+	}
+
+	chi2 := func(a, b *iv) float64 {
+		n := a.total + b.total
+		out := 0.0
+		for c := 0; c < numClasses; c++ {
+			colSum := a.counts[c] + b.counts[c]
+			if colSum == 0 {
+				continue
+			}
+			for _, x := range []*iv{a, b} {
+				e := x.total * colSum / n
+				d := x.counts[c] - e
+				out += d * d / e
+			}
+		}
+		return out
+	}
+
+	for len(ivs) > 1 {
+		// Find the most similar adjacent pair.
+		best, bestChi := -1, 0.0
+		for i := 0; i+1 < len(ivs); i++ {
+			c := chi2(ivs[i], ivs[i+1])
+			if best < 0 || c < bestChi {
+				best, bestChi = i, c
+			}
+		}
+		if bestChi > threshold && len(ivs) <= maxIntervals {
+			break
+		}
+		// Merge best and best+1.
+		a, b := ivs[best], ivs[best+1]
+		a.hi = b.hi
+		a.total += b.total
+		for c := range a.counts {
+			a.counts[c] += b.counts[c]
+		}
+		ivs = append(ivs[:best+1], ivs[best+2:]...)
+	}
+
+	cuts := make([]float64, 0, len(ivs)-1)
+	for i := 0; i+1 < len(ivs); i++ {
+		cuts = append(cuts, (ivs[i].hi+ivs[i+1].lo)/2)
+	}
+	return cuts
+}
+
+// chiMergeThreshold returns the chi-squared critical value at the 95%
+// significance level for df = numClasses−1 (the ChiMerge default),
+// from the standard table for small df and the Wilson–Hilferty
+// approximation beyond it.
+func chiMergeThreshold(numClasses int) float64 {
+	table := []float64{0, 3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919}
+	df := numClasses - 1
+	if df <= 0 {
+		return 3.841
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	// Wilson–Hilferty: χ²_p(df) ≈ df(1 − 2/(9df) + z_p√(2/(9df)))³.
+	const z95 = 1.6449
+	fdf := float64(df)
+	t := 1 - 2/(9*fdf) + z95*math.Sqrt(2/(9*fdf))
+	return fdf * t * t * t
+}

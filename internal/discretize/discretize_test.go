@@ -1,0 +1,361 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfpc/internal/dataset"
+)
+
+// numericDS builds a dataset with one numeric attribute whose values
+// separate the two classes perfectly around 10.
+func numericDS(n int) *dataset.Dataset {
+	d := &dataset.Dataset{
+		Name:    "num",
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"lo", "hi"},
+	}
+	for i := 0; i < n; i++ {
+		v := float64(i)
+		y := 0
+		if v >= 10 {
+			y = 1
+		}
+		d.Rows = append(d.Rows, []float64{v})
+		d.Labels = append(d.Labels, y)
+	}
+	return d
+}
+
+func TestMDLFindsSeparatingCut(t *testing.T) {
+	d := numericDS(20)
+	disc, err := Fit(d, Options{Method: EntropyMDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := disc.Cuts(0)
+	if len(cuts) == 0 {
+		t.Fatal("MDL found no cut on a perfectly separable attribute")
+	}
+	// The first (and ideally only) cut should fall between 9 and 10.
+	found := false
+	for _, c := range cuts {
+		if c > 9 && c < 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cuts = %v, want one in (9,10)", cuts)
+	}
+}
+
+func TestMDLRejectsRandomAttribute(t *testing.T) {
+	// Class labels independent of the value: MDL should produce zero or
+	// very few cuts.
+	r := rand.New(rand.NewSource(5))
+	d := &dataset.Dataset{
+		Name:    "noise",
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b"},
+	}
+	for i := 0; i < 200; i++ {
+		d.Rows = append(d.Rows, []float64{r.Float64()})
+		d.Labels = append(d.Labels, r.Intn(2))
+	}
+	disc, err := Fit(d, Options{Method: EntropyMDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(disc.Cuts(0)); got > 2 {
+		t.Fatalf("MDL produced %d cuts on noise, want <= 2", got)
+	}
+}
+
+func TestApplyProducesCategorical(t *testing.T) {
+	d := numericDS(20)
+	out, err := FitApply(d, Options{Method: EntropyMDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attrs[0].Kind != dataset.Categorical {
+		t.Fatal("attribute still numeric after Apply")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Low values map to bin 0, high values to the last bin.
+	if out.Rows[0][0] != 0 {
+		t.Fatalf("row 0 bin = %v, want 0", out.Rows[0][0])
+	}
+	last := out.Rows[19][0]
+	if int(last) != len(out.Attrs[0].Values)-1 {
+		t.Fatalf("row 19 bin = %v, want last bin", last)
+	}
+}
+
+func TestApplyPreservesMissing(t *testing.T) {
+	d := numericDS(20)
+	d.Rows[3][0] = dataset.Missing
+	out, err := FitApply(d, Options{Method: EqualWidth, Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dataset.IsMissing(out.Rows[3][0]) {
+		t.Fatal("missing cell lost")
+	}
+}
+
+func TestApplyLeavesCategoricalAlone(t *testing.T) {
+	d := &dataset.Dataset{
+		Name: "mixed",
+		Attrs: []dataset.Attribute{
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"u", "v"}},
+			{Name: "x", Kind: dataset.Numeric},
+		},
+		Classes: []string{"a", "b"},
+		Rows:    [][]float64{{0, 1.0}, {1, 2.0}, {0, 3.0}, {1, 4.0}},
+		Labels:  []int{0, 0, 1, 1},
+	}
+	out, err := FitApply(d, Options{Method: EqualWidth, Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attrs[0].Values[1] != "v" || out.Rows[1][0] != 1 {
+		t.Fatal("categorical attribute was modified")
+	}
+}
+
+func TestEqualWidthCuts(t *testing.T) {
+	vals := []float64{0, 10}
+	cuts := equalWidthCuts(vals, 4)
+	want := []float64{2.5, 5, 7.5}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	for i := range want {
+		if math.Abs(cuts[i]-want[i]) > 1e-9 {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+func TestEqualWidthDegenerate(t *testing.T) {
+	if cuts := equalWidthCuts([]float64{5, 5, 5}, 4); cuts != nil {
+		t.Fatalf("constant column should yield nil cuts, got %v", cuts)
+	}
+	if cuts := equalWidthCuts(nil, 4); cuts != nil {
+		t.Fatalf("empty column should yield nil cuts, got %v", cuts)
+	}
+}
+
+func TestEqualFrequencyCuts(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	cuts := equalFrequencyCuts(vals, 4)
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	// Bins should each hold ~25 values.
+	counts := make([]int, 4)
+	for _, v := range vals {
+		counts[binIndex(cuts, v)]++
+	}
+	for b, c := range counts {
+		if c < 20 || c > 30 {
+			t.Fatalf("bin %d holds %d values: %v", b, c, counts)
+		}
+	}
+}
+
+func TestEqualFrequencySkewed(t *testing.T) {
+	// Heavily repeated value must not produce duplicate/unsorted cuts.
+	vals := []float64{1, 1, 1, 1, 1, 1, 1, 1, 2, 3}
+	cuts := equalFrequencyCuts(vals, 4)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+}
+
+func TestBinIndexBoundaries(t *testing.T) {
+	cuts := []float64{1.0, 2.0}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1.0, 0}, {1.5, 1}, {2.0, 1}, {2.5, 2}}
+	for _, c := range cases {
+		if got := binIndex(cuts, c.v); got != c.want {
+			t.Errorf("binIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBinLabels(t *testing.T) {
+	labels := binLabels([]float64{1, 2})
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] != "(-inf-1]" || labels[2] != "(2-inf)" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if got := binLabels(nil); len(got) != 1 {
+		t.Fatalf("no-cut labels = %v", got)
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	d := numericDS(20)
+	disc, err := Fit(d, Options{Method: EqualWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := &dataset.Dataset{
+		Name:    "other",
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}, {Name: "y", Kind: dataset.Numeric}},
+		Classes: []string{"a"},
+		Rows:    [][]float64{{1, 2}},
+		Labels:  []int{0},
+	}
+	if _, err := disc.Apply(other); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestFitOnTrainApplyOnTest(t *testing.T) {
+	train := numericDS(20)
+	disc, err := Fit(train, Options{Method: EntropyMDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test data outside the training range must still map to valid bins.
+	test := &dataset.Dataset{
+		Name:    "num",
+		Attrs:   train.Attrs,
+		Classes: train.Classes,
+		Rows:    [][]float64{{-100}, {1000}},
+		Labels:  []int{0, 1},
+	}
+	out, err := disc.Apply(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickApplyAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := &dataset.Dataset{
+			Name:    "q",
+			Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}, {Name: "y", Kind: dataset.Numeric}},
+			Classes: []string{"a", "b", "c"},
+		}
+		n := 10 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			d.Rows = append(d.Rows, []float64{r.NormFloat64() * 10, r.Float64()})
+			d.Labels = append(d.Labels, r.Intn(3))
+		}
+		for _, m := range []Method{EntropyMDL, EqualWidth, EqualFrequency} {
+			out, err := FitApply(d, Options{Method: m, Bins: 2 + r.Intn(5)})
+			if err != nil || out.Validate() != nil || !out.AllCategorical() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiMergeFindsSeparatingCut(t *testing.T) {
+	d := numericDS(40)
+	disc, err := Fit(d, Options{Method: ChiMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := disc.Cuts(0)
+	if len(cuts) == 0 {
+		t.Fatal("ChiMerge found no cut on separable data")
+	}
+	found := false
+	for _, c := range cuts {
+		if c > 9 && c < 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cuts = %v, want one in (9,10)", cuts)
+	}
+}
+
+func TestChiMergeMergesNoise(t *testing.T) {
+	// Labels independent of value: ChiMerge should merge down to few
+	// intervals.
+	r := rand.New(rand.NewSource(9))
+	d := &dataset.Dataset{
+		Name:    "noise",
+		Attrs:   []dataset.Attribute{{Name: "x", Kind: dataset.Numeric}},
+		Classes: []string{"a", "b"},
+	}
+	for i := 0; i < 300; i++ {
+		d.Rows = append(d.Rows, []float64{r.Float64()})
+		d.Labels = append(d.Labels, r.Intn(2))
+	}
+	disc, err := Fit(d, Options{Method: ChiMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(disc.Cuts(0)); got > 9 {
+		t.Fatalf("ChiMerge kept %d cuts on noise", got)
+	}
+}
+
+func TestChiMergeRespectsMaxCuts(t *testing.T) {
+	d := numericDS(60)
+	disc, err := Fit(d, Options{Method: ChiMerge, MaxCuts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(disc.Cuts(0)); got > 2 {
+		t.Fatalf("cuts = %d, want <= 2", got)
+	}
+}
+
+func TestChiMergeThreshold(t *testing.T) {
+	// df=1 → 3.841; df=2 → 5.991.
+	if got := chiMergeThreshold(2); math.Abs(got-3.841) > 1e-9 {
+		t.Fatalf("threshold df=1 = %v", got)
+	}
+	if got := chiMergeThreshold(3); math.Abs(got-5.991) > 1e-9 {
+		t.Fatalf("threshold df=2 = %v", got)
+	}
+	// Large df via Wilson–Hilferty: df=30 → ≈43.77.
+	if got := chiMergeThreshold(31); math.Abs(got-43.77) > 0.5 {
+		t.Fatalf("threshold df=30 = %v", got)
+	}
+	if got := chiMergeThreshold(1); got != 3.841 {
+		t.Fatalf("degenerate threshold = %v", got)
+	}
+}
+
+func TestChiMergeEndToEnd(t *testing.T) {
+	d := numericDS(40)
+	out, err := FitApply(d, Options{Method: ChiMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllCategorical() {
+		t.Fatal("not categorical after ChiMerge")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package eval provides the experimental protocol of the paper's
+// Section 4: classification metrics, stratified cross-validation over a
+// pluggable train/predict pipeline, and simple grid model selection.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dfpc/internal/dataset"
+)
+
+// Pipeline abstracts one classification pipeline: fit on training rows
+// of a dataset, then predict test rows. The frequent-pattern framework,
+// the single-feature baselines, and the associative classifiers all
+// implement this to share the CV harness.
+type Pipeline interface {
+	// Fit trains on the given dataset rows.
+	Fit(d *dataset.Dataset, rows []int) error
+	// Predict returns predicted class indices for the given rows.
+	Predict(d *dataset.Dataset, rows []int) ([]int, error)
+}
+
+// Accuracy returns the fraction of positions where pred equals truth.
+func Accuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("eval: %d predictions for %d labels", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("eval: empty prediction set")
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// ConfusionMatrix returns counts[truth][pred].
+func ConfusionMatrix(pred, truth []int, numClasses int) ([][]int, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("eval: %d predictions for %d labels", len(pred), len(truth))
+	}
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i := range pred {
+		if truth[i] < 0 || truth[i] >= numClasses || pred[i] < 0 || pred[i] >= numClasses {
+			return nil, fmt.Errorf("eval: label out of range at %d", i)
+		}
+		m[truth[i]][pred[i]]++
+	}
+	return m, nil
+}
+
+// CVResult summarizes a cross-validation run.
+type CVResult struct {
+	FoldAccuracies []float64
+	Mean           float64
+	Std            float64
+	TrainTime      time.Duration // summed over folds
+	TestTime       time.Duration
+}
+
+// CrossValidate runs stratified k-fold cross validation of the pipeline
+// on the dataset (the paper's protocol: "Each dataset is partitioned
+// into ten parts evenly. Each time, one part is used for test and the
+// other nine are used for training").
+func CrossValidate(p Pipeline, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
+	folds, err := dataset.StratifiedKFold(d.Labels, d.NumClasses(), k, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{}
+	for f := range folds {
+		train, test := dataset.TrainTestFromFolds(folds, f)
+		t0 := time.Now()
+		if err := p.Fit(d, train); err != nil {
+			return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+		}
+		res.TrainTime += time.Since(t0)
+		t0 = time.Now()
+		pred, err := p.Predict(d, test)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d predict: %w", f, err)
+		}
+		res.TestTime += time.Since(t0)
+		truth := make([]int, len(test))
+		for i, r := range test {
+			truth[i] = d.Labels[r]
+		}
+		acc, err := Accuracy(pred, truth)
+		if err != nil {
+			return nil, err
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+	}
+	res.Mean, res.Std = meanStd(res.FoldAccuracies)
+	return res, nil
+}
+
+// HoldOut trains on train rows and evaluates accuracy on test rows.
+func HoldOut(p Pipeline, d *dataset.Dataset, train, test []int) (float64, error) {
+	if err := p.Fit(d, train); err != nil {
+		return 0, err
+	}
+	pred, err := p.Predict(d, test)
+	if err != nil {
+		return 0, err
+	}
+	truth := make([]int, len(test))
+	for i, r := range test {
+		truth[i] = d.Labels[r]
+	}
+	return Accuracy(pred, truth)
+}
+
+// SelectBest evaluates each candidate pipeline by k-fold CV and returns
+// the index of the one with the highest mean accuracy — the "10-fold
+// cross validation on each training set, pick the best model" step of
+// the paper's protocol.
+func SelectBest(cands []Pipeline, d *dataset.Dataset, k int, seed int64) (int, *CVResult, error) {
+	if len(cands) == 0 {
+		return -1, nil, fmt.Errorf("eval: no candidate pipelines")
+	}
+	bestIdx, bestRes := -1, (*CVResult)(nil)
+	for i, p := range cands {
+		res, err := CrossValidate(p, d, k, seed)
+		if err != nil {
+			return -1, nil, fmt.Errorf("eval: candidate %d: %w", i, err)
+		}
+		if bestRes == nil || res.Mean > bestRes.Mean {
+			bestIdx, bestRes = i, res
+		}
+	}
+	return bestIdx, bestRes, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

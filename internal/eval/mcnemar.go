@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// McNemar performs McNemar's test with continuity correction on two
+// classifiers' predictions over the same test rows: it considers only
+// the disagreement cells (rows one classifier gets right and the other
+// wrong) and tests whether the disagreements are symmetric. Returns the
+// chi-squared statistic and p-value (1 df). Small disagreement counts
+// (b+c < 10) make the approximation unreliable; the test reports this
+// through ok=false while still returning the statistic.
+func McNemar(predA, predB, truth []int) (chi2, p float64, ok bool, err error) {
+	if len(predA) != len(truth) || len(predB) != len(truth) {
+		return 0, 0, false, fmt.Errorf("eval: mcnemar length mismatch (%d, %d, %d)",
+			len(predA), len(predB), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, 0, false, fmt.Errorf("eval: mcnemar on empty predictions")
+	}
+	b, c := 0, 0 // b: A right, B wrong; c: A wrong, B right
+	for i := range truth {
+		aRight := predA[i] == truth[i]
+		bRight := predB[i] == truth[i]
+		switch {
+		case aRight && !bRight:
+			b++
+		case !aRight && bRight:
+			c++
+		}
+	}
+	if b+c == 0 {
+		return 0, 1, false, nil // identical error patterns
+	}
+	diff := math.Abs(float64(b-c)) - 1 // continuity correction
+	if diff < 0 {
+		diff = 0
+	}
+	chi2 = diff * diff / float64(b+c)
+	p = chiSquaredTail1(chi2)
+	return chi2, p, b+c >= 10, nil
+}
+
+// chiSquaredTail1 returns P(X > x) for a chi-squared distribution with
+// one degree of freedom: erfc(sqrt(x/2)).
+func chiSquaredTail1(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}

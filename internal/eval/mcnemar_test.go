@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMcNemarIdenticalPredictions(t *testing.T) {
+	truth := []int{0, 1, 0, 1}
+	pred := []int{0, 1, 1, 1}
+	chi2, p, ok, err := McNemar(pred, pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 0 || p != 1 || ok {
+		t.Fatalf("identical predictions: chi2=%v p=%v ok=%v", chi2, p, ok)
+	}
+}
+
+func TestMcNemarClearWinner(t *testing.T) {
+	// A is right on 30 rows where B is wrong; B is never right where A
+	// is wrong.
+	n := 40
+	truth := make([]int, n)
+	predA := make([]int, n)
+	predB := make([]int, n)
+	for i := 0; i < 30; i++ {
+		predB[i] = 1 // wrong
+	}
+	chi2, p, ok, err := McNemar(predA, predB, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected enough disagreements")
+	}
+	if chi2 < 20 || p > 1e-5 {
+		t.Fatalf("chi2=%v p=%v, expected highly significant", chi2, p)
+	}
+}
+
+func TestMcNemarSymmetricDisagreement(t *testing.T) {
+	// Equal disagreement counts → no evidence of a difference.
+	truth := make([]int, 40)
+	predA := make([]int, 40)
+	predB := make([]int, 40)
+	for i := 0; i < 10; i++ {
+		predA[i] = 1 // A wrong, B right
+	}
+	for i := 10; i < 20; i++ {
+		predB[i] = 1 // B wrong, A right
+	}
+	_, p, ok, err := McNemar(predA, predB, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected enough disagreements")
+	}
+	if p < 0.5 {
+		t.Fatalf("p = %v for symmetric disagreement, want high", p)
+	}
+}
+
+func TestMcNemarErrors(t *testing.T) {
+	if _, _, _, err := McNemar([]int{0}, []int{0, 1}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, _, _, err := McNemar(nil, nil, nil); err == nil {
+		t.Fatal("empty should error")
+	}
+}
+
+func TestChiSquaredTail1(t *testing.T) {
+	// Critical value: P(X > 3.841) ≈ 0.05 for 1 df.
+	if got := chiSquaredTail1(3.841); math.Abs(got-0.05) > 0.002 {
+		t.Fatalf("P(X>3.841) = %v, want ~0.05", got)
+	}
+	if got := chiSquaredTail1(0); got != 1 {
+		t.Fatalf("P(X>0) = %v, want 1", got)
+	}
+	if got := chiSquaredTail1(6.635); math.Abs(got-0.01) > 0.001 {
+		t.Fatalf("P(X>6.635) = %v, want ~0.01", got)
+	}
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairedTTest performs a two-sided paired t-test on matched accuracy
+// samples (e.g. per-fold accuracies of two pipelines evaluated on the
+// same folds). It returns the t statistic and the p-value. Use it to
+// judge whether an accuracy difference between two model families is
+// significant — the conventional companion to the paper's Tables 1–2.
+func PairedTTest(a, b []float64) (t, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("eval: paired t-test with %d vs %d samples", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("eval: paired t-test needs >= 2 pairs, got %d", n)
+	}
+	diffs := make([]float64, n)
+	mean := 0.0
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		mean += diffs[i]
+	}
+	mean /= float64(n)
+	varSum := 0.0
+	for _, d := range diffs {
+		varSum += (d - mean) * (d - mean)
+	}
+	sd := math.Sqrt(varSum / float64(n-1))
+	if sd == 0 {
+		if mean == 0 {
+			return 0, 1, nil // identical samples: no evidence of difference
+		}
+		return math.Inf(sign(mean)), 0, nil
+	}
+	t = mean / (sd / math.Sqrt(float64(n)))
+	p = 2 * studentTailCDF(math.Abs(t), n-1)
+	if p > 1 {
+		p = 1
+	}
+	return t, p, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTailCDF returns P(T > t) for Student's t distribution with df
+// degrees of freedom, t >= 0, via the regularized incomplete beta
+// function: P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2.
+func studentTailCDF(t float64, df int) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := float64(df) / (float64(df) + t*t)
+	return 0.5 * regularizedIncompleteBeta(float64(df)/2, 0.5, x)
+}
+
+// regularizedIncompleteBeta computes I_x(a, b) with the standard
+// continued-fraction expansion (Numerical Recipes' betacf form).
+func regularizedIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// CompareResult reports a significance comparison between two CV runs.
+type CompareResult struct {
+	MeanA, MeanB float64
+	T            float64
+	P            float64
+	// Significant is true when P < 0.05.
+	Significant bool
+}
+
+// Compare runs a paired t-test over two CV results' fold accuracies.
+func Compare(a, b *CVResult) (*CompareResult, error) {
+	t, p, err := PairedTTest(a.FoldAccuracies, b.FoldAccuracies)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResult{
+		MeanA: a.Mean, MeanB: b.Mean,
+		T: t, P: p,
+		Significant: p < 0.05,
+	}, nil
+}

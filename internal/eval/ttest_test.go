@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{0.8, 0.9, 0.85, 0.87}
+	tt, p, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 0 || p != 1 {
+		t.Fatalf("identical samples: t=%v p=%v, want 0, 1", tt, p)
+	}
+}
+
+func TestPairedTTestClearDifference(t *testing.T) {
+	a := []float64{0.90, 0.92, 0.91, 0.93, 0.89, 0.92, 0.90, 0.91, 0.93, 0.92}
+	b := []float64{0.70, 0.72, 0.71, 0.73, 0.69, 0.72, 0.70, 0.71, 0.73, 0.72}
+	tt, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt <= 0 {
+		t.Fatalf("t = %v, want positive", tt)
+	}
+	if p >= 0.001 {
+		t.Fatalf("p = %v, want < 0.001 for a 20-point gap", p)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		base := 0.8 + 0.05*r.NormFloat64()
+		a[i] = base + 0.01*r.NormFloat64()
+		b[i] = base + 0.01*r.NormFloat64()
+	}
+	_, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("p = %v on same-distribution noise; suspiciously significant", p)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, _, err := PairedTTest([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single pair should error")
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	// Zero variance of differences but nonzero mean → infinite t, p = 0.
+	// Values chosen so the differences are exactly representable.
+	a := []float64{1.5, 2.5, 3.5}
+	b := []float64{1.0, 2.0, 3.0}
+	tt, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tt, 1) || p != 0 {
+		t.Fatalf("constant shift: t=%v p=%v", tt, p)
+	}
+}
+
+func TestStudentTailKnownValues(t *testing.T) {
+	// t distribution with 9 df: P(T > 2.262) ≈ 0.025 (the classic 95%
+	// two-sided critical value).
+	if got := studentTailCDF(2.262, 9); math.Abs(got-0.025) > 0.002 {
+		t.Fatalf("P(T>2.262; df=9) = %v, want ~0.025", got)
+	}
+	// df=1 (Cauchy): P(T > 1) = 0.25.
+	if got := studentTailCDF(1, 1); math.Abs(got-0.25) > 0.002 {
+		t.Fatalf("P(T>1; df=1) = %v, want 0.25", got)
+	}
+	if got := studentTailCDF(0, 5); got != 0.5 {
+		t.Fatalf("P(T>0) = %v, want 0.5", got)
+	}
+}
+
+func TestRegularizedIncompleteBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regularizedIncompleteBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	got := regularizedIncompleteBeta(2, 3, 0.3)
+	want := 1 - regularizedIncompleteBeta(3, 2, 0.7)
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("symmetry violated: %v vs %v", got, want)
+	}
+	if regularizedIncompleteBeta(2, 3, 0) != 0 || regularizedIncompleteBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+}
+
+func TestQuickPValueInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.Float64()
+			b[i] = r.Float64()
+		}
+		_, p, err := PairedTTest(a, b)
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := &CVResult{FoldAccuracies: []float64{0.9, 0.92, 0.91, 0.9, 0.93}, Mean: 0.912}
+	b := &CVResult{FoldAccuracies: []float64{0.7, 0.71, 0.72, 0.7, 0.73}, Mean: 0.712}
+	res, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Fatalf("20-point gap not significant: %+v", res)
+	}
+	if _, err := Compare(&CVResult{FoldAccuracies: []float64{1}}, b); err == nil {
+		t.Fatal("mismatched folds should error")
+	}
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dfpc/internal/core"
+	"dfpc/internal/datagen"
+	"dfpc/internal/dataset"
+	"dfpc/internal/discretize"
+	"dfpc/internal/eval"
+	"dfpc/internal/featsel"
+	"dfpc/internal/mining"
+	"dfpc/internal/svm"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Dataset  string
+	Variant  string
+	Features int     // pattern pool / selected features, variant-specific
+	Accuracy float64 // percent
+}
+
+// WriteAblation renders an ablation result set.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-28s %9s %9s\n", "Data", "Variant", "Features", "Acc(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-28s %9d %9.2f\n", r.Dataset, r.Variant, r.Features, r.Accuracy)
+	}
+}
+
+// RunAblationClosedVsAll compares closed patterns against all frequent
+// patterns as the feature pool (same min_sup, same MMRFS selection).
+// Closed mining should give an equally accurate model from a much
+// smaller pool.
+func RunAblationClosedVsAll(name string, minSup float64, folds int) ([]AblationRow, error) {
+	d, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	if folds <= 0 {
+		folds = 5
+	}
+	var rows []AblationRow
+	for _, closed := range []bool{true, false} {
+		variant := "closed (FPClose)"
+		if !closed {
+			variant = "all frequent (FPGrowth)"
+		}
+		p := &poolPipeline{minSup: minSup, closed: closed, coverage: 3}
+		res, err := eval.CrossValidate(p, d, folds, Seed)
+		if err != nil {
+			return rows, fmt.Errorf("closed-vs-all %s/%s: %w", name, variant, err)
+		}
+		rows = append(rows, AblationRow{Dataset: name, Variant: variant, Features: p.lastPool, Accuracy: 100 * res.Mean})
+	}
+	return rows, nil
+}
+
+// poolPipeline is a Pat_FS pipeline variant exposing the pool kind
+// (closed vs. all) — used only by the ablation.
+type poolPipeline struct {
+	minSup   float64
+	closed   bool
+	coverage int
+
+	disc     *discretize.Discretizer
+	numItems int
+	patterns []mining.Pattern
+	model    *svm.Model
+	lastPool int
+}
+
+func (p *poolPipeline) Fit(d *dataset.Dataset, rows []int) error {
+	train := d.Subset(rows)
+	var err error
+	p.disc, err = discretize.Fit(train, discretize.Options{})
+	if err != nil {
+		return err
+	}
+	cat, err := p.disc.Apply(train)
+	if err != nil {
+		return err
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return err
+	}
+	p.numItems = b.NumItems()
+	mined, err := mining.MinePerClass(b, mining.PerClassOptions{
+		MinSupport:  p.minSup,
+		Closed:      p.closed,
+		MaxPatterns: 2_000_000,
+		MaxLen:      5,
+		MinLen:      2,
+	})
+	if err != nil {
+		return err
+	}
+	p.lastPool = len(mined)
+	cands := make([]featsel.Candidate, len(mined))
+	for i, pt := range mined {
+		cands[i] = featsel.Candidate{Items: pt.Items, Cover: b.Cover(pt.Items)}
+	}
+	sel, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{Coverage: p.coverage})
+	if err != nil {
+		return err
+	}
+	p.patterns = make([]mining.Pattern, len(sel.Selected))
+	for i, idx := range sel.Selected {
+		p.patterns[i] = mined[idx]
+	}
+	mining.SortPatterns(p.patterns)
+
+	x := make([][]int32, b.NumRows())
+	for i := range x {
+		x[i] = p.fv(b.Rows[i])
+	}
+	p.model, err = svm.Train(x, b.Labels, b.NumClasses(), svm.Config{C: 1, NumFeatures: p.numItems + len(p.patterns)})
+	return err
+}
+
+func (p *poolPipeline) fv(tx []int32) []int32 {
+	out := append([]int32(nil), tx...)
+	for j := range p.patterns {
+		if patternMatches(tx, p.patterns[j].Items) {
+			out = append(out, int32(p.numItems+j))
+		}
+	}
+	return out
+}
+
+func (p *poolPipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
+	cat, err := p.disc.Apply(d.Subset(rows))
+	if err != nil {
+		return nil, err
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(rows))
+	for i := range rows {
+		out[i] = p.model.Predict(p.fv(b.Rows[i]))
+	}
+	return out, nil
+}
+
+// RunAblationRedundancy compares MMRFS against pure relevance top-k
+// selection with the same feature budget: the redundancy term should
+// not hurt, and typically helps, at equal feature count.
+func RunAblationRedundancy(name string, minSup float64, folds int) ([]AblationRow, error) {
+	d, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	if folds <= 0 {
+		folds = 5
+	}
+	// First, find how many features MMRFS selects so top-k gets the
+	// same budget.
+	mmrfs := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: minSup, Coverage: 3}.withDefaults())
+	res, err := eval.CrossValidate(mmrfs, d, folds, Seed)
+	if err != nil {
+		return nil, fmt.Errorf("redundancy ablation %s mmrfs: %w", name, err)
+	}
+	rows := []AblationRow{{Dataset: name, Variant: "MMRFS (relevance+redundancy)", Features: mmrfs.Stats.FeatureCount, Accuracy: 100 * res.Mean}}
+
+	topk := &topKPipeline{minSup: minSup, k: mmrfs.Stats.FeatureCount}
+	res2, err := eval.CrossValidate(topk, d, folds, Seed)
+	if err != nil {
+		return rows, fmt.Errorf("redundancy ablation %s topk: %w", name, err)
+	}
+	rows = append(rows, AblationRow{Dataset: name, Variant: "top-k relevance only", Features: topk.k, Accuracy: 100 * res2.Mean})
+	return rows, nil
+}
+
+// topKPipeline is Pat_FS with plain top-k information-gain selection
+// instead of MMRFS.
+type topKPipeline struct {
+	minSup float64
+	k      int
+
+	disc     *discretize.Discretizer
+	numItems int
+	patterns []mining.Pattern
+	model    *svm.Model
+}
+
+func (p *topKPipeline) Fit(d *dataset.Dataset, rows []int) error {
+	train := d.Subset(rows)
+	var err error
+	p.disc, err = discretize.Fit(train, discretize.Options{})
+	if err != nil {
+		return err
+	}
+	cat, err := p.disc.Apply(train)
+	if err != nil {
+		return err
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return err
+	}
+	p.numItems = b.NumItems()
+	mined, err := mining.MinePerClass(b, mining.PerClassOptions{
+		MinSupport: p.minSup, Closed: true, MaxPatterns: 2_000_000, MaxLen: 5, MinLen: 2,
+	})
+	if err != nil {
+		return err
+	}
+	cands := make([]featsel.Candidate, len(mined))
+	for i, pt := range mined {
+		cands[i] = featsel.Candidate{Items: pt.Items, Cover: b.Cover(pt.Items)}
+	}
+	sel := featsel.TopK(cands, b.ClassMasks, featsel.InfoGain, p.k)
+	p.patterns = make([]mining.Pattern, len(sel.Selected))
+	for i, idx := range sel.Selected {
+		p.patterns[i] = mined[idx]
+	}
+	mining.SortPatterns(p.patterns)
+
+	x := make([][]int32, b.NumRows())
+	for i := range x {
+		x[i] = p.fv(b.Rows[i])
+	}
+	p.model, err = svm.Train(x, b.Labels, b.NumClasses(), svm.Config{C: 1, NumFeatures: p.numItems + len(p.patterns)})
+	return err
+}
+
+func (p *topKPipeline) fv(tx []int32) []int32 {
+	out := append([]int32(nil), tx...)
+	for j := range p.patterns {
+		if patternMatches(tx, p.patterns[j].Items) {
+			out = append(out, int32(p.numItems+j))
+		}
+	}
+	return out
+}
+
+func (p *topKPipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
+	cat, err := p.disc.Apply(d.Subset(rows))
+	if err != nil {
+		return nil, err
+	}
+	b, err := dataset.Encode(cat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(rows))
+	for i := range rows {
+		out[i] = p.model.Predict(p.fv(b.Rows[i]))
+	}
+	return out, nil
+}
+
+// RunAblationRelevance compares information gain vs. Fisher score as
+// MMRFS's relevance measure.
+func RunAblationRelevance(name string, minSup float64, folds int) ([]AblationRow, error) {
+	d, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	if folds <= 0 {
+		folds = 5
+	}
+	var rows []AblationRow
+	for _, rel := range []featsel.Relevance{featsel.InfoGain, featsel.Fisher} {
+		cfg := core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: minSup, Relevance: rel}
+		p := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		res, err := eval.CrossValidate(p, d, folds, Seed)
+		if err != nil {
+			return rows, fmt.Errorf("relevance ablation %s/%v: %w", name, rel, err)
+		}
+		rows = append(rows, AblationRow{Dataset: name, Variant: rel.String(), Features: p.Stats.FeatureCount, Accuracy: 100 * res.Mean})
+	}
+	return rows, nil
+}
+
+// RunAblationCoverage sweeps MMRFS's δ.
+func RunAblationCoverage(name string, minSup float64, deltas []int, folds int) ([]AblationRow, error) {
+	d, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	if folds <= 0 {
+		folds = 5
+	}
+	var rows []AblationRow
+	for _, delta := range deltas {
+		cfg := core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: minSup, Coverage: delta}
+		p := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		res, err := eval.CrossValidate(p, d, folds, Seed)
+		if err != nil {
+			return rows, fmt.Errorf("coverage ablation %s/δ=%d: %w", name, delta, err)
+		}
+		rows = append(rows, AblationRow{
+			Dataset: name, Variant: fmt.Sprintf("δ = %d", delta),
+			Features: p.Stats.FeatureCount, Accuracy: 100 * res.Mean,
+		})
+	}
+	return rows, nil
+}
+
+// RunAblationMinSupStrategy compares the automatic θ*(IG0) min_sup
+// strategy against hand-set values.
+func RunAblationMinSupStrategy(name string, handSet []float64, folds int) ([]AblationRow, error) {
+	d, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	if folds <= 0 {
+		folds = 5
+	}
+	auto := mk(func() (*core.Pipeline, error) {
+		return core.New(core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: -1})
+	})
+	res, err := eval.CrossValidate(auto, d, folds, Seed)
+	if err != nil {
+		return nil, fmt.Errorf("strategy ablation %s auto: %w", name, err)
+	}
+	rows := []AblationRow{{
+		Dataset:  name,
+		Variant:  fmt.Sprintf("auto θ*(IG0) → %.3f", auto.Stats.MinSupport),
+		Features: auto.Stats.FeatureCount, Accuracy: 100 * res.Mean,
+	}}
+	for _, ms := range handSet {
+		p := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: ms}.withDefaults())
+		r, err := eval.CrossValidate(p, d, folds, Seed)
+		if err != nil {
+			return rows, fmt.Errorf("strategy ablation %s/%v: %w", name, ms, err)
+		}
+		rows = append(rows, AblationRow{
+			Dataset: name, Variant: fmt.Sprintf("hand-set %.3f", ms),
+			Features: p.Stats.FeatureCount, Accuracy: 100 * r.Mean,
+		})
+	}
+	return rows, nil
+}

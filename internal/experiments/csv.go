@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV emitters: each experiment's rows as machine-readable series for
+// external plotting (the figures in the paper are plots; these files
+// are their data).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// Table1CSV writes Table 1 rows as CSV.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, f2(r.ItemAll), f2(r.ItemFS), f2(r.ItemRBF), f2(r.PatAll), f2(r.PatFS)}
+	}
+	return writeCSV(w, []string{"dataset", "item_all", "item_fs", "item_rbf", "pat_all", "pat_fs"}, out)
+}
+
+// Table2CSV writes Table 2 rows as CSV.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, f2(r.ItemAll), f2(r.ItemFS), f2(r.PatAll), f2(r.PatFS)}
+	}
+	return writeCSV(w, []string{"dataset", "item_all", "item_fs", "pat_all", "pat_fs"}, out)
+}
+
+// ScalabilityCSV writes Tables 3–5 rows as CSV; infeasible rows carry
+// empty measurement cells.
+func ScalabilityCSV(w io.Writer, rows []ScalabilityRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		if r.Infeasible {
+			out[i] = []string{strconv.Itoa(r.MinSupport), "", "", "", "", "1"}
+			continue
+		}
+		out[i] = []string{
+			strconv.Itoa(r.MinSupport),
+			strconv.Itoa(r.Patterns),
+			f2(r.Time.Seconds()),
+			f2(r.SVMAcc),
+			f2(r.C45Acc),
+			"0",
+		}
+	}
+	return writeCSV(w, []string{"min_sup", "patterns", "time_s", "svm_acc", "c45_acc", "infeasible"}, out)
+}
+
+// Figure1CSV writes the IG-by-length series as CSV.
+func Figure1CSV(w io.Writer, rows []Figure1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, strconv.Itoa(r.Length), strconv.Itoa(r.Count), f2(r.MaxIG), f2(r.MeanIG)}
+	}
+	return writeCSV(w, []string{"dataset", "length", "count", "max_ig", "mean_ig"}, out)
+}
+
+// BoundFigureCSV writes Figure 2/3 rows as CSV; infinite bounds are
+// rendered as "inf".
+func BoundFigureCSV(w io.Writer, rows []FigureBoundRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		bound := f2(r.Bound)
+		if math.IsInf(r.Bound, 1) {
+			bound = "inf"
+		}
+		out[i] = []string{r.Dataset, strconv.Itoa(r.Support), strconv.Itoa(r.Count), f2(r.MaxValue), bound}
+	}
+	return writeCSV(w, []string{"dataset", "support", "count", "max_value", "bound"}, out)
+}
+
+// MinSupSweepCSV writes the Section 3.2 sweep as CSV.
+func MinSupSweepCSV(w io.Writer, rows []MinSupSweepRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, f2(r.MinSupport), strconv.Itoa(r.Patterns), f2(r.Accuracy)}
+	}
+	return writeCSV(w, []string{"dataset", "min_sup", "patterns", "accuracy"}, out)
+}
+
+// HarmonyCSV writes the Section 5 comparison as CSV.
+func HarmonyCSV(w io.Writer, rows []HarmonyRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, f2(r.PatFS), f2(r.Harmony), f2(r.CBA)}
+	}
+	return writeCSV(w, []string{"dataset", "pat_fs", "harmony", "cba"}, out)
+}
+
+// AblationCSV writes ablation rows as CSV.
+func AblationCSV(w io.Writer, rows []AblationRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Variant, strconv.Itoa(r.Features), f2(r.Accuracy)}
+	}
+	return writeCSV(w, []string{"dataset", "variant", "features", "accuracy"}, out)
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The experiment smoke tests run reduced-fidelity configurations (few
+// folds, small datasets, high min_sup) and assert the structural and
+// qualitative properties the paper reports, not absolute numbers.
+
+func TestRunTable1Smoke(t *testing.T) {
+	rows, err := RunTable1([]string{"labor", "zoo"}, Protocol{Folds: 3, MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.ItemAll, r.ItemFS, r.ItemRBF, r.PatAll, r.PatFS} {
+			if v < 10 || v > 100 {
+				t.Fatalf("%s: implausible accuracy %v", r.Dataset, v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "labor") || !strings.Contains(buf.String(), "Pat_FS") {
+		t.Fatalf("render missing content:\n%s", buf.String())
+	}
+}
+
+func TestRunTable2Smoke(t *testing.T) {
+	rows, err := RunTable2([]string{"labor"}, Protocol{Folds: 3, MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "C4.5") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunScalabilitySmoke(t *testing.T) {
+	rows, err := RunScalability(ScalabilityConfig{
+		Dataset:     "chess",
+		AbsSupports: []int{700, 650},
+		SampleRows:  800,
+		MaxPatterns: 300000,
+		MaxLen:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Lower min_sup must never yield fewer patterns.
+	if !rows[0].Infeasible && !rows[1].Infeasible && rows[1].Patterns < rows[0].Patterns {
+		t.Fatalf("pattern count not monotone: %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteScalability(&buf, "Table 3 (smoke)", rows)
+	if !strings.Contains(buf.String(), "#Patterns") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestScalabilityInfeasibleRow(t *testing.T) {
+	rows, err := RunScalability(ScalabilityConfig{
+		Dataset:     "chess",
+		AbsSupports: []int{1},
+		SampleRows:  400,
+		MaxPatterns: 500, // tiny budget → guaranteed abort, the paper's N/A row
+		MaxLen:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Infeasible {
+		t.Fatalf("expected infeasible row, got %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteScalability(&buf, "smoke", rows)
+	if !strings.Contains(buf.String(), "N/A") {
+		t.Fatal("render missing N/A")
+	}
+}
+
+func TestRunFigure1Smoke(t *testing.T) {
+	rows, err := RunFigure1([]string{"breast"}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d, want lengths >= 2", len(rows))
+	}
+	// Figure 1's claim: some pattern (length >= 2) has higher IG than
+	// every single feature.
+	var bestSingle, bestPattern float64
+	for _, r := range rows {
+		if r.Length == 1 && r.MaxIG > bestSingle {
+			bestSingle = r.MaxIG
+		}
+		if r.Length >= 2 && r.MaxIG > bestPattern {
+			bestPattern = r.MaxIG
+		}
+	}
+	if bestPattern <= bestSingle {
+		t.Fatalf("no pattern beats singles: pattern %v vs single %v", bestPattern, bestSingle)
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf, rows)
+	if !strings.Contains(buf.String(), "Length") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunFigure2BoundDominates(t *testing.T) {
+	rows, err := RunFigure2([]string{"breast"}, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.MaxValue > r.Bound+1e-9 {
+			t.Fatalf("empirical IG %v exceeds bound %v at support %d", r.MaxValue, r.Bound, r.Support)
+		}
+	}
+	var buf bytes.Buffer
+	WriteBoundFigure(&buf, "Figure 2 (smoke)", "IG", rows)
+	if !strings.Contains(buf.String(), "IG_ub") {
+		t.Fatal("render missing bound column")
+	}
+}
+
+func TestRunFigure3BoundDominates(t *testing.T) {
+	rows, err := RunFigure3([]string{"breast"}, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !math.IsInf(r.Bound, 1) && r.MaxValue > r.Bound+1e-9 {
+			t.Fatalf("empirical Fisher %v exceeds bound %v at support %d", r.MaxValue, r.Bound, r.Support)
+		}
+	}
+}
+
+func TestRunMinSupSweepSmoke(t *testing.T) {
+	rows, err := RunMinSupSweep("labor", []float64{0.5, 0.3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Lower min_sup → at least as many patterns.
+	if rows[1].Patterns < rows[0].Patterns {
+		t.Fatalf("pattern count not monotone: %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteMinSupSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "min_sup") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRunHarmonyComparisonSmoke(t *testing.T) {
+	rows, err := RunHarmonyComparison([]string{"labor"}, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].PatFS <= 0 || rows[0].Harmony <= 0 || rows[0].CBA <= 0 {
+		t.Fatalf("implausible accuracies: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	WriteHarmony(&buf, rows)
+	if !strings.Contains(buf.String(), "HARMONY") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if rows, err := RunAblationClosedVsAll("labor", 0.4, 3); err != nil || len(rows) != 2 {
+		t.Fatalf("closed-vs-all: %v rows=%d", err, len(rows))
+	}
+	if rows, err := RunAblationRedundancy("labor", 0.4, 3); err != nil || len(rows) != 2 {
+		t.Fatalf("redundancy: %v rows=%d", err, len(rows))
+	}
+	if rows, err := RunAblationRelevance("labor", 0.4, 3); err != nil || len(rows) != 2 {
+		t.Fatalf("relevance: %v rows=%d", err, len(rows))
+	}
+	if rows, err := RunAblationCoverage("labor", 0.4, []int{1, 3}, 3); err != nil || len(rows) != 2 {
+		t.Fatalf("coverage: %v rows=%d", err, len(rows))
+	}
+	rows, err := RunAblationMinSupStrategy("labor", []float64{0.4}, 3)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("strategy: %v rows=%d", err, len(rows))
+	}
+	var buf bytes.Buffer
+	WriteAblation(&buf, "smoke", rows)
+	if !strings.Contains(buf.String(), "Variant") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, []Table1Row{{Dataset: "x", ItemAll: 80, PatFS: 90}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dataset,item_all") || !strings.Contains(buf.String(), "x,80.0000") {
+		t.Fatalf("table1 csv:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := Table2CSV(&buf, []Table2Row{{Dataset: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pat_fs") {
+		t.Fatal("table2 csv missing header")
+	}
+
+	buf.Reset()
+	err := ScalabilityCSV(&buf, []ScalabilityRow{
+		{MinSupport: 100, Patterns: 5, SVMAcc: 90, C45Acc: 85},
+		{MinSupport: 1, Infeasible: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "100,5,") || !strings.Contains(out, "1,,,,,1") {
+		t.Fatalf("scalability csv:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := Figure1CSV(&buf, []Figure1Row{{Dataset: "x", Length: 2, Count: 3, MaxIG: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,2,3,0.5000") {
+		t.Fatalf("figure1 csv:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := BoundFigureCSV(&buf, []FigureBoundRow{{Dataset: "x", Support: 7, Bound: math.Inf(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",inf") {
+		t.Fatalf("bound csv should render inf:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := MinSupSweepCSV(&buf, []MinSupSweepRow{{Dataset: "x", MinSupport: 0.1, Patterns: 9, Accuracy: 88}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,0.1000,9,88.0000") {
+		t.Fatalf("minsup csv:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := HarmonyCSV(&buf, []HarmonyRow{{Dataset: "x", PatFS: 90, Harmony: 85, CBA: 80}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,90.0000,85.0000,80.0000") {
+		t.Fatalf("harmony csv:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := AblationCSV(&buf, []AblationRow{{Dataset: "x", Variant: "v", Features: 4, Accuracy: 77}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,v,4,77.0000") {
+		t.Fatalf("ablation csv:\n%s", buf.String())
+	}
+}
+
+func TestMinSupFor(t *testing.T) {
+	// Explicit protocol value wins.
+	if got := minSupFor("anneal", Protocol{MinSupport: 0.42}); got != 0.42 {
+		t.Fatalf("explicit = %v", got)
+	}
+	// Tuned per-dataset value otherwise.
+	if got := minSupFor("anneal", Protocol{}); got != perDatasetMinSup["anneal"] {
+		t.Fatalf("anneal = %v", got)
+	}
+	// Fallback for unknown datasets.
+	if got := minSupFor("mystery", Protocol{}); got != 0.15 {
+		t.Fatalf("fallback = %v", got)
+	}
+	// Negative values (automatic strategy) pass through.
+	if got := minSupFor("anneal", Protocol{MinSupport: -1}); got != -1 {
+		t.Fatalf("auto = %v", got)
+	}
+}
+
+func TestPerDatasetMinSupCoversTable1(t *testing.T) {
+	for _, name := range []string{
+		"anneal", "austral", "auto", "breast", "cleve", "diabetes",
+		"glass", "heart", "hepatic", "horse", "iono", "iris", "labor",
+		"lymph", "pima", "sonar", "vehicle", "wine", "zoo",
+		"chess", "waveform", "letter",
+	} {
+		if _, ok := perDatasetMinSup[name]; !ok {
+			t.Errorf("no tuned min_sup for %s", name)
+		}
+	}
+}

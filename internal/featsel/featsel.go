@@ -1,0 +1,299 @@
+// Package featsel implements the paper's feature-selection step:
+// MMRFS (Algorithm 1), a Maximal-Marginal-Relevance-style greedy search
+// that selects patterns that are relevant to the class label and
+// minimally redundant with the already-selected set, under a database
+// coverage constraint δ. It also provides the plain relevance filters
+// (top-k information gain) used for the Item_FS baseline in Tables 1–2.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dfpc/internal/bitset"
+	"dfpc/internal/measures"
+)
+
+// Relevance selects the relevance measure S(α) used by MMRFS
+// (Definition 3: information gain or Fisher score).
+type Relevance int
+
+const (
+	// InfoGain uses IG(C|X) as relevance.
+	InfoGain Relevance = iota
+	// Fisher uses the Fisher score as relevance.
+	Fisher
+)
+
+func (r Relevance) String() string {
+	switch r {
+	case InfoGain:
+		return "information-gain"
+	case Fisher:
+		return "fisher-score"
+	default:
+		return fmt.Sprintf("Relevance(%d)", int(r))
+	}
+}
+
+// relevanceCap bounds relevance so that +Inf Fisher scores (perfectly
+// separating features) stay arithmetically safe inside the redundancy
+// product of Eq. 9.
+const relevanceCap = 1e9
+
+// Candidate is one feature candidate: an itemset together with its
+// coverage bitset over the training rows.
+type Candidate struct {
+	Items []int32
+	Cover *bitset.Bitset
+}
+
+// Options configures MMRFS.
+type Options struct {
+	// Relevance is the S measure (default InfoGain).
+	Relevance Relevance
+	// Coverage is δ: selection stops once every coverable training
+	// instance is correctly covered δ times (default 1).
+	Coverage int
+	// MaxFeatures optionally caps the number of selected features;
+	// 0 means unbounded (the coverage constraint decides).
+	MaxFeatures int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Coverage <= 0 {
+		o.Coverage = 1
+	}
+	return o
+}
+
+// Result reports the outcome of a selection run.
+type Result struct {
+	// Selected holds indices into the candidate slice, in selection
+	// order (most relevant first).
+	Selected []int
+	// Relevance holds S(α) for every candidate (same indexing as the
+	// input slice), useful for diagnostics and the figures.
+	Relevance []float64
+}
+
+// scoreAll computes S(α) for each candidate.
+func scoreAll(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance) []float64 {
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		var s float64
+		switch rel {
+		case Fisher:
+			s = measures.FisherScore(c.Cover, classMasks)
+		default:
+			s = measures.InfoGain(c.Cover, classMasks)
+		}
+		if math.IsInf(s, 1) || s > relevanceCap {
+			s = relevanceCap
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// redundancy implements Eq. 9: R(α,β) = P(α,β) / (P(α)+P(β)−P(α,β)) ×
+// min(S(α), S(β)), i.e. the Jaccard similarity of the coverage sets
+// scaled by the smaller relevance.
+func redundancy(a, b Candidate, sa, sb float64) float64 {
+	inter := a.Cover.AndCount(b.Cover)
+	union := a.Cover.Count() + b.Cover.Count() - inter
+	if union == 0 {
+		return 0
+	}
+	jac := float64(inter) / float64(union)
+	return jac * math.Min(sa, sb)
+}
+
+// majorityClass returns the majority class among the rows covered by
+// cov (ties broken toward the smaller class index), or -1 for an empty
+// cover. A feature "correctly covers" an instance when the instance's
+// class matches this label — the sense in which Algorithm 1 requires
+// each selected pattern to correctly cover at least one instance.
+func majorityClass(cov *bitset.Bitset, classMasks []*bitset.Bitset) int {
+	best, bestCount := -1, 0
+	for c, mask := range classMasks {
+		n := cov.AndCount(mask)
+		if n > bestCount {
+			best, bestCount = c, n
+		}
+	}
+	return best
+}
+
+// MMRFS runs Algorithm 1 over the candidates. labels[i] is the class of
+// training row i; classMasks partition the rows by class. It returns
+// the selected candidate indices in selection order.
+//
+// The search starts from the most relevant pattern, then repeatedly
+// adds the pattern with maximal marginal gain g(α) = S(α) −
+// max_{β∈Fs} R(α,β) (Eq. 10), provided it correctly covers at least one
+// instance that is not yet covered δ times; it stops when every
+// coverable instance is covered δ times or the candidate pool is
+// exhausted.
+func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := len(labels)
+	for i, c := range cands {
+		if c.Cover == nil || c.Cover.Len() != n {
+			return nil, fmt.Errorf("featsel: candidate %d cover length mismatch", i)
+		}
+	}
+	res := &Result{Relevance: scoreAll(cands, classMasks, opt.Relevance)}
+	if len(cands) == 0 {
+		return res, nil
+	}
+
+	majority := make([]int, len(cands))
+	for i, c := range cands {
+		majority[i] = majorityClass(c.Cover, classMasks)
+	}
+
+	// coverable[i]: some candidate correctly covers row i; rows no
+	// candidate can cover are excluded from the δ-coverage stopping
+	// test, otherwise selection could never terminate.
+	covered := make([]int, n)
+	coverable := 0
+	coverableMask := bitset.New(n)
+	for i, c := range cands {
+		if majority[i] < 0 {
+			continue
+		}
+		c.Cover.ForEach(func(row int) {
+			if labels[row] == majority[i] && !coverableMask.Get(row) {
+				coverableMask.Set(row)
+				coverable++
+			}
+		})
+	}
+	fullyCovered := 0
+
+	// maxRed[i] tracks max_{β∈Fs} R(candidate_i, β), updated
+	// incrementally as features join Fs.
+	maxRed := make([]float64, len(cands))
+	inSel := make([]bool, len(cands))
+
+	// pick returns the unselected candidate with maximal gain, or -1.
+	pick := func() int {
+		best, bestGain := -1, math.Inf(-1)
+		for i := range cands {
+			if inSel[i] || majority[i] < 0 {
+				continue
+			}
+			gain := res.Relevance[i] - maxRed[i]
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		return best
+	}
+
+	// correctlyCoversUncovered reports whether candidate i correctly
+	// covers at least one instance still below δ.
+	correctlyCoversUncovered := func(i int) bool {
+		found := false
+		cands[i].Cover.ForEach(func(row int) {
+			if !found && labels[row] == majority[i] && covered[row] < opt.Coverage {
+				found = true
+			}
+		})
+		return found
+	}
+
+	add := func(i int) {
+		inSel[i] = true
+		res.Selected = append(res.Selected, i)
+		cands[i].Cover.ForEach(func(row int) {
+			if labels[row] == majority[i] {
+				covered[row]++
+				if covered[row] == opt.Coverage {
+					fullyCovered++
+				}
+			}
+		})
+		for j := range cands {
+			if inSel[j] || majority[j] < 0 {
+				continue
+			}
+			r := redundancy(cands[j], cands[i], res.Relevance[j], res.Relevance[i])
+			if r > maxRed[j] {
+				maxRed[j] = r
+			}
+		}
+	}
+
+	for {
+		if opt.MaxFeatures > 0 && len(res.Selected) >= opt.MaxFeatures {
+			break
+		}
+		if fullyCovered >= coverable {
+			break
+		}
+		i := pick()
+		if i < 0 {
+			break // pool exhausted
+		}
+		if correctlyCoversUncovered(i) {
+			add(i)
+		} else {
+			// Cannot contribute coverage: drop from the pool without
+			// selecting (Algorithm 1 line 7 removes β from F either way).
+			inSel[i] = true
+		}
+	}
+
+	// inSel was reused to mark dropped candidates; rebuild Selected-only
+	// marks are already in res.Selected, nothing to undo.
+	return res, nil
+}
+
+// TopK returns the indices of the k candidates with the highest
+// relevance (no redundancy or coverage reasoning) — the conventional
+// filter-style feature selection used for the Item_FS baseline.
+func TopK(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, k int) *Result {
+	res := &Result{Relevance: scoreAll(cands, classMasks, rel)}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if res.Relevance[idx[a]] != res.Relevance[idx[b]] {
+			return res.Relevance[idx[a]] > res.Relevance[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	res.Selected = idx[:k]
+	return res
+}
+
+// AboveThreshold returns the indices of candidates whose relevance is
+// at least t, in descending relevance order — the IG0-threshold filter
+// the paper's Section 3.1.3 equivalence argument is built on.
+func AboveThreshold(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, t float64) *Result {
+	res := &Result{Relevance: scoreAll(cands, classMasks, rel)}
+	idx := make([]int, 0, len(cands))
+	for i := range cands {
+		if res.Relevance[i] >= t {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if res.Relevance[idx[a]] != res.Relevance[idx[b]] {
+			return res.Relevance[idx[a]] > res.Relevance[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	res.Selected = idx
+	return res
+}

@@ -1,0 +1,204 @@
+package graphmining
+
+import (
+	"fmt"
+
+	"dfpc/internal/bitset"
+	"dfpc/internal/featsel"
+	"dfpc/internal/svm"
+)
+
+// Classifier applies the paper's framework to graph data (the setting
+// of its reference [7]): frequent connected subgraphs are mined per
+// class, MMRFS selects the discriminative ones, and an SVM is trained
+// on binary presence features (single vertex labels plus selected
+// subgraphs).
+type Classifier struct {
+	// MinSupport is the relative per-class mining support (default 0.2).
+	MinSupport float64
+	// Coverage is MMRFS's δ (default 3).
+	Coverage int
+	// MaxEdges caps subgraph size (default 4).
+	MaxEdges int
+	// MaxPatterns caps the mined pool (default 50000).
+	MaxPatterns int
+	// SVMC is the soft-margin penalty (default 1).
+	SVMC float64
+
+	numVertexLabels int
+	numClasses      int
+	patterns        []Pattern
+	model           *svm.Model
+
+	// Stats from the last Fit.
+	MinedCount    int
+	SelectedCount int
+}
+
+func (c *Classifier) withDefaults() {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 0.2
+	}
+	if c.Coverage <= 0 {
+		c.Coverage = 3
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 4
+	}
+	if c.MaxPatterns <= 0 {
+		c.MaxPatterns = 50_000
+	}
+	if c.SVMC <= 0 {
+		c.SVMC = 1
+	}
+}
+
+// Fit trains on the graph database with labels y in [0, numClasses).
+func (c *Classifier) Fit(db []*Graph, y []int, numClasses int) error {
+	if len(db) == 0 {
+		return fmt.Errorf("graphmining: empty training set")
+	}
+	if len(db) != len(y) {
+		return fmt.Errorf("graphmining: %d graphs, %d labels", len(db), len(y))
+	}
+	if numClasses < 1 {
+		return fmt.Errorf("graphmining: numClasses = %d", numClasses)
+	}
+	c.withDefaults()
+	c.numClasses = numClasses
+	c.numVertexLabels = 0
+	for _, g := range db {
+		for _, l := range g.VertexLabels {
+			if int(l) >= c.numVertexLabels {
+				c.numVertexLabels = int(l) + 1
+			}
+		}
+	}
+
+	byClass := make([][]*Graph, numClasses)
+	for i, g := range db {
+		if y[i] < 0 || y[i] >= numClasses {
+			return fmt.Errorf("graphmining: label %d out of range [0,%d)", y[i], numClasses)
+		}
+		byClass[y[i]] = append(byClass[y[i]], g)
+	}
+	seen := map[string]bool{}
+	var pool []Pattern
+	for cl := 0; cl < numClasses; cl++ {
+		if len(byClass[cl]) == 0 {
+			continue
+		}
+		abs := int(c.MinSupport*float64(len(byClass[cl])) + 0.5)
+		if abs < 1 {
+			abs = 1
+		}
+		ps, err := Mine(byClass[cl], Options{
+			MinSupport:  abs,
+			MaxEdges:    c.MaxEdges,
+			MaxPatterns: c.MaxPatterns - len(pool),
+		})
+		if err != nil {
+			return fmt.Errorf("graphmining: class %d: %w", cl, err)
+		}
+		for i := range ps {
+			// Single edges already correlate heavily with vertex-label
+			// features; keep them anyway (they are the graph analogue of
+			// length-2 itemsets) but dedupe across classes.
+			if seen[ps[i].Key()] {
+				continue
+			}
+			seen[ps[i].Key()] = true
+			pool = append(pool, ps[i])
+		}
+	}
+	c.MinedCount = len(pool)
+
+	classMasks := make([]*bitset.Bitset, numClasses)
+	for cl := range classMasks {
+		classMasks[cl] = bitset.New(len(db))
+	}
+	for i, yi := range y {
+		classMasks[yi].Set(i)
+	}
+	cands := make([]featsel.Candidate, len(pool))
+	for i := range pool {
+		cov := bitset.New(len(db))
+		for gi, g := range db {
+			if ContainsSubgraph(g, pool[i].Graph) {
+				cov.Set(gi)
+			}
+		}
+		cands[i] = featsel.Candidate{Cover: cov}
+	}
+	sel, err := featsel.MMRFS(cands, classMasks, y, featsel.Options{Coverage: c.Coverage})
+	if err != nil {
+		return err
+	}
+	c.patterns = make([]Pattern, len(sel.Selected))
+	for i, idx := range sel.Selected {
+		c.patterns[i] = pool[idx]
+	}
+	SortPatterns(c.patterns)
+	c.SelectedCount = len(c.patterns)
+
+	x := make([][]int32, len(db))
+	for i, g := range db {
+		x[i] = c.featureVector(g)
+	}
+	c.model, err = svm.Train(x, y, numClasses, svm.Config{
+		C:           c.SVMC,
+		NumFeatures: c.numVertexLabels + len(c.patterns),
+	})
+	return err
+}
+
+// featureVector encodes a graph as sorted binary features: vertex
+// labels present, then matched subgraph patterns.
+func (c *Classifier) featureVector(g *Graph) []int32 {
+	present := make([]bool, c.numVertexLabels)
+	for _, l := range g.VertexLabels {
+		if int(l) < c.numVertexLabels {
+			present[l] = true
+		}
+	}
+	out := make([]int32, 0, len(present)+len(c.patterns))
+	for l := 0; l < c.numVertexLabels; l++ {
+		if present[l] {
+			out = append(out, int32(l))
+		}
+	}
+	for j := range c.patterns {
+		if ContainsSubgraph(g, c.patterns[j].Graph) {
+			out = append(out, int32(c.numVertexLabels+j))
+		}
+	}
+	return out
+}
+
+// Patterns returns the selected subgraph features.
+func (c *Classifier) Patterns() []Pattern {
+	out := make([]Pattern, len(c.patterns))
+	copy(out, c.patterns)
+	return out
+}
+
+// Predict classifies one graph.
+func (c *Classifier) Predict(g *Graph) (int, error) {
+	if c.model == nil {
+		return 0, fmt.Errorf("graphmining: Predict before Fit")
+	}
+	return c.model.Predict(c.featureVector(g)), nil
+}
+
+// PredictAll classifies every graph.
+func (c *Classifier) PredictAll(db []*Graph) ([]int, error) {
+	out := make([]int, len(db))
+	for i, g := range db {
+		y, err := c.Predict(g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}

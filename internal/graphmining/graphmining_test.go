@@ -1,0 +1,264 @@
+package graphmining
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// path builds a labelled path graph v0-v1-...-vk.
+func path(vertexLabels []int32, edgeLabel int32) *Graph {
+	g := &Graph{VertexLabels: vertexLabels}
+	for i := 0; i+1 < len(vertexLabels); i++ {
+		g.Edges = append(g.Edges, Edge{From: i, To: i + 1, Label: edgeLabel})
+	}
+	return g
+}
+
+// triangle builds a labelled triangle.
+func triangle(l0, l1, l2, le int32) *Graph {
+	return &Graph{
+		VertexLabels: []int32{l0, l1, l2},
+		Edges: []Edge{
+			{From: 0, To: 1, Label: le},
+			{From: 1, To: 2, Label: le},
+			{From: 0, To: 2, Label: le},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := path([]int32{0, 1}, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Graph{VertexLabels: []int32{0}, Edges: []Edge{{From: 0, To: 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range edge should error")
+	}
+	loop := &Graph{VertexLabels: []int32{0}, Edges: []Edge{{From: 0, To: 0}}}
+	if err := loop.Validate(); err == nil {
+		t.Fatal("self-loop should error")
+	}
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	// The same triangle with permuted vertex order must share a key.
+	a := triangle(1, 2, 3, 0)
+	b := &Graph{
+		VertexLabels: []int32{3, 1, 2},
+		Edges: []Edge{
+			{From: 1, To: 2, Label: 0},
+			{From: 2, To: 0, Label: 0},
+			{From: 1, To: 0, Label: 0},
+		},
+	}
+	if canonicalKey(a) != canonicalKey(b) {
+		t.Fatal("isomorphic graphs have different canonical keys")
+	}
+	// A path with the same labels is different.
+	c := path([]int32{1, 2, 3}, 0)
+	if canonicalKey(a) == canonicalKey(c) {
+		t.Fatal("triangle and path share a canonical key")
+	}
+}
+
+func TestContainsSubgraph(t *testing.T) {
+	g := triangle(1, 2, 3, 0)
+	if !ContainsSubgraph(g, path([]int32{1, 2}, 0)) {
+		t.Fatal("edge 1-2 should be contained")
+	}
+	if !ContainsSubgraph(g, path([]int32{2, 1}, 0)) {
+		t.Fatal("containment must be label-based, not order-based")
+	}
+	if ContainsSubgraph(g, path([]int32{1, 9}, 0)) {
+		t.Fatal("edge with unknown label should not match")
+	}
+	if ContainsSubgraph(g, path([]int32{1, 2}, 7)) {
+		t.Fatal("edge label must match")
+	}
+	if !ContainsSubgraph(g, triangle(3, 2, 1, 0)) {
+		t.Fatal("triangle should contain itself up to isomorphism")
+	}
+	// A triangle pattern is not inside a path graph.
+	if ContainsSubgraph(path([]int32{1, 2, 3}, 0), triangle(1, 2, 3, 0)) {
+		t.Fatal("path contains no triangle")
+	}
+	if !ContainsSubgraph(g, &Graph{}) {
+		t.Fatal("empty pattern matches everything")
+	}
+}
+
+func TestContainsSubgraphInjective(t *testing.T) {
+	// Pattern a-b, a-b (two distinct b vertices) must NOT match a graph
+	// with a single a-b edge: vertex assignments are injective.
+	pattern := &Graph{
+		VertexLabels: []int32{0, 1, 1},
+		Edges:        []Edge{{From: 0, To: 1, Label: 0}, {From: 0, To: 2, Label: 0}},
+	}
+	single := path([]int32{0, 1}, 0)
+	if ContainsSubgraph(single, pattern) {
+		t.Fatal("injectivity violated")
+	}
+	double := &Graph{
+		VertexLabels: []int32{0, 1, 1},
+		Edges:        []Edge{{From: 0, To: 1, Label: 0}, {From: 0, To: 2, Label: 0}},
+	}
+	if !ContainsSubgraph(double, pattern) {
+		t.Fatal("star should match itself")
+	}
+}
+
+func TestMineFindsPlantedMotif(t *testing.T) {
+	// 10 graphs contain a triangle motif; 10 contain only paths.
+	var db []*Graph
+	for i := 0; i < 10; i++ {
+		db = append(db, triangle(1, 2, 3, 0))
+		db = append(db, path([]int32{1, 2, 3, 1}, 0))
+	}
+	ps, err := Mine(db, Options{MinSupport: 8, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTriangle := false
+	key := canonicalKey(triangle(1, 2, 3, 0))
+	for i := range ps {
+		if ps[i].Key() == key {
+			foundTriangle = true
+			if ps[i].Support != 10 {
+				t.Fatalf("triangle support = %d, want 10", ps[i].Support)
+			}
+		}
+	}
+	if !foundTriangle {
+		t.Fatal("planted triangle not mined")
+	}
+}
+
+func TestMineSupportMonotone(t *testing.T) {
+	var db []*Graph
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		labels := make([]int32, 4)
+		for j := range labels {
+			labels[j] = int32(r.Intn(3))
+		}
+		db = append(db, path(labels, int32(r.Intn(2))))
+	}
+	lo, err := Mine(db, Options{MinSupport: 3, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Mine(db, Options{MinSupport: 8, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi) > len(lo) {
+		t.Fatalf("higher support mined more patterns: %d > %d", len(hi), len(lo))
+	}
+	// Every pattern's support must be correct w.r.t. ContainsSubgraph.
+	for i := range lo {
+		sup := 0
+		for _, g := range db {
+			if ContainsSubgraph(g, lo[i].Graph) {
+				sup++
+			}
+		}
+		if sup != lo[i].Support {
+			t.Fatalf("pattern support %d, recount %d", lo[i].Support, sup)
+		}
+	}
+}
+
+func TestMineNoDuplicates(t *testing.T) {
+	var db []*Graph
+	for i := 0; i < 6; i++ {
+		db = append(db, triangle(1, 1, 1, 0))
+	}
+	ps, err := Mine(db, Options{MinSupport: 3, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range ps {
+		if seen[ps[i].Key()] {
+			t.Fatalf("duplicate canonical pattern: %v", ps[i].Graph)
+		}
+		seen[ps[i].Key()] = true
+	}
+}
+
+func TestMineBudgetAndValidation(t *testing.T) {
+	db := []*Graph{triangle(1, 2, 3, 0), triangle(1, 2, 3, 0)}
+	if _, err := Mine(db, Options{MinSupport: 0}); err == nil {
+		t.Fatal("MinSupport=0 should error")
+	}
+	_, err := Mine(db, Options{MinSupport: 1, MaxPatterns: 2, MaxEdges: 3})
+	if !errors.Is(err, ErrPatternBudget) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+// graphDataset builds a classification task where the vertex-label
+// vocabulary is identical across classes and only the TOPOLOGY
+// discriminates: class 0 graphs contain a triangle, class 1 graphs the
+// same labels as a path plus a distractor edge.
+func graphDataset(n int, seed int64) (db []*Graph, y []int) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := i % 2
+		var g *Graph
+		if c == 0 {
+			g = triangle(1, 2, 3, 0)
+		} else {
+			g = path([]int32{1, 2, 3}, 0)
+		}
+		// Attach a random noise vertex to both classes.
+		ng := cloneGraph(g)
+		ng.VertexLabels = append(ng.VertexLabels, int32(4+r.Intn(2)))
+		ng.Edges = append(ng.Edges, Edge{From: r.Intn(3), To: 3, Label: 0})
+		db = append(db, ng)
+		y = append(y, c)
+	}
+	return db, y
+}
+
+func TestGraphClassifierTopologyMotifs(t *testing.T) {
+	db, y := graphDataset(60, 5)
+	clf := &Classifier{MinSupport: 0.5, MaxEdges: 3}
+	if err := clf.Fit(db, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if clf.SelectedCount == 0 {
+		t.Fatal("no subgraph features selected")
+	}
+	pred, err := clf.PredictAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(pred)); acc < 0.95 {
+		t.Fatalf("accuracy %v; topology motifs not captured", acc)
+	}
+}
+
+func TestGraphClassifierErrors(t *testing.T) {
+	clf := &Classifier{}
+	if err := clf.Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty db should error")
+	}
+	if err := clf.Fit([]*Graph{path([]int32{0, 1}, 0)}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := clf.Fit([]*Graph{path([]int32{0, 1}, 0)}, []int{5}, 2); err == nil {
+		t.Fatal("bad label should error")
+	}
+	if _, err := (&Classifier{}).Predict(path([]int32{0, 1}, 0)); err == nil {
+		t.Fatal("Predict before Fit should error")
+	}
+}

@@ -1,0 +1,218 @@
+package graphmining
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Pattern is a frequent connected subgraph with its absolute support
+// (number of database graphs containing it).
+type Pattern struct {
+	Graph   *Graph
+	Support int
+	key     string
+}
+
+// Key returns the canonical key of the pattern graph.
+func (p *Pattern) Key() string {
+	if p.key == "" {
+		p.key = canonicalKey(p.Graph)
+	}
+	return p.key
+}
+
+// ErrPatternBudget mirrors mining.ErrPatternBudget for graphs.
+var ErrPatternBudget = errors.New("graphmining: pattern budget exceeded")
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the absolute minimum support (≥ 1).
+	MinSupport int
+	// MaxEdges caps pattern size in edges (default 5 — the canonical
+	// dedup is exponential in pattern vertices, so keep patterns small).
+	MaxEdges int
+	// MaxPatterns aborts with ErrPatternBudget (0 = unlimited).
+	MaxPatterns int
+}
+
+// Mine enumerates the frequent connected subgraphs of the database by
+// breadth-first edge extension with canonical-form deduplication
+// (FSG-style; Kuramochi & Karypis, ICDM'01 — reference [11] of the
+// paper). Every returned pattern is connected and appears in at least
+// MinSupport database graphs.
+func Mine(db []*Graph, opt Options) ([]Pattern, error) {
+	if opt.MinSupport < 1 {
+		return nil, fmt.Errorf("graphmining: MinSupport = %d, want >= 1", opt.MinSupport)
+	}
+	if opt.MaxEdges <= 0 {
+		opt.MaxEdges = 5
+	}
+	for i, g := range db {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("graphmining: db graph %d: %w", i, err)
+		}
+	}
+
+	// Level 1: frequent single edges (label triples, vertex labels
+	// sorted for canonical undirected form).
+	type edgeKind struct {
+		la, lb int32 // vertex labels, la <= lb
+		le     int32 // edge label
+	}
+	edgeSupport := map[edgeKind]int{}
+	for _, g := range db {
+		seen := map[edgeKind]bool{}
+		for _, e := range g.Edges {
+			la, lb := g.VertexLabels[e.From], g.VertexLabels[e.To]
+			if la > lb {
+				la, lb = lb, la
+			}
+			k := edgeKind{la, lb, e.Label}
+			if !seen[k] {
+				seen[k] = true
+				edgeSupport[k]++
+			}
+		}
+	}
+	var kinds []edgeKind
+	for k, c := range edgeSupport {
+		if c >= opt.MinSupport {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		a, b := kinds[i], kinds[j]
+		if a.la != b.la {
+			return a.la < b.la
+		}
+		if a.lb != b.lb {
+			return a.lb < b.lb
+		}
+		return a.le < b.le
+	})
+
+	var out []Pattern
+	seenCanonical := map[string]bool{}
+	level := make([]*Pattern, 0, len(kinds))
+	for _, k := range kinds {
+		pg := &Graph{
+			VertexLabels: []int32{k.la, k.lb},
+			Edges:        []Edge{{From: 0, To: 1, Label: k.le}},
+		}
+		p := Pattern{Graph: pg, Support: edgeSupport[k]}
+		if seenCanonical[p.Key()] {
+			continue
+		}
+		seenCanonical[p.Key()] = true
+		out = append(out, p)
+		level = append(level, &out[len(out)-1])
+		if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
+			return out, ErrPatternBudget
+		}
+	}
+
+	// Frequent vertex/edge label vocabulary for extensions.
+	vertexLabels := map[int32]bool{}
+	edgeLabels := map[int32]bool{}
+	for _, k := range kinds {
+		vertexLabels[k.la] = true
+		vertexLabels[k.lb] = true
+		edgeLabels[k.le] = true
+	}
+
+	for edges := 2; edges <= opt.MaxEdges && len(level) > 0; edges++ {
+		var next []*Pattern
+		levelSeen := map[string]bool{}
+		for _, parent := range level {
+			for _, cand := range extensions(parent.Graph, vertexLabels, edgeLabels) {
+				key := canonicalKey(cand)
+				if levelSeen[key] || seenCanonical[key] {
+					continue
+				}
+				levelSeen[key] = true
+				sup := 0
+				for _, g := range db {
+					if ContainsSubgraph(g, cand) {
+						sup++
+					}
+				}
+				if sup < opt.MinSupport {
+					continue
+				}
+				seenCanonical[key] = true
+				out = append(out, Pattern{Graph: cand, Support: sup, key: key})
+				next = append(next, &out[len(out)-1])
+				if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
+					return out, ErrPatternBudget
+				}
+			}
+		}
+		level = next
+	}
+	return out, nil
+}
+
+// extensions generates candidate one-edge extensions of a pattern:
+// either a new edge between two existing vertices, or a new vertex
+// attached to an existing one, over the frequent label vocabulary.
+func extensions(g *Graph, vertexLabels, edgeLabels map[int32]bool) []*Graph {
+	type pair struct{ a, b int }
+	existing := map[pair]bool{}
+	for _, e := range g.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		existing[pair{a, b}] = true
+	}
+	var out []*Graph
+	n := g.NumVertices()
+	// Close a cycle between existing vertices.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if existing[pair{a, b}] {
+				continue
+			}
+			for le := range edgeLabels {
+				ng := cloneGraph(g)
+				ng.Edges = append(ng.Edges, Edge{From: a, To: b, Label: le})
+				out = append(out, ng)
+			}
+		}
+	}
+	// Grow a new vertex.
+	for a := 0; a < n; a++ {
+		for lv := range vertexLabels {
+			for le := range edgeLabels {
+				ng := cloneGraph(g)
+				ng.VertexLabels = append(ng.VertexLabels, lv)
+				ng.Edges = append(ng.Edges, Edge{From: a, To: n, Label: le})
+				out = append(out, ng)
+			}
+		}
+	}
+	return out
+}
+
+func cloneGraph(g *Graph) *Graph {
+	return &Graph{
+		VertexLabels: append([]int32(nil), g.VertexLabels...),
+		Edges:        append([]Edge(nil), g.Edges...),
+	}
+}
+
+// SortPatterns orders patterns canonically (support desc, edges asc,
+// canonical key).
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := &ps[i], &ps[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Graph.Edges) != len(b.Graph.Edges) {
+			return len(a.Graph.Edges) < len(b.Graph.Edges)
+		}
+		return a.Key() < b.Key()
+	})
+}

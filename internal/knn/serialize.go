@@ -1,0 +1,42 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshot is the gob-encodable form of a Model (k-NN stores its
+// training data).
+type snapshot struct {
+	X          [][]int32
+	Y          []int
+	NumClasses int
+	Cfg        Config
+}
+
+// MarshalBinary encodes the model (encoding.BinaryMarshaler).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapshot{X: m.x, Y: m.y, NumClasses: m.numClasses, Cfg: m.cfg})
+	if err != nil {
+		return nil, fmt.Errorf("knn: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model encoded by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("knn: unmarshal: %w", err)
+	}
+	if len(s.X) == 0 || len(s.X) != len(s.Y) || s.NumClasses < 1 {
+		return fmt.Errorf("knn: unmarshal: inconsistent snapshot")
+	}
+	m.x = s.X
+	m.y = s.Y
+	m.numClasses = s.NumClasses
+	m.cfg = s.Cfg
+	return nil
+}

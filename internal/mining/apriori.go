@@ -1,0 +1,163 @@
+package mining
+
+import "sort"
+
+// Apriori mines all frequent itemsets level-wise (Agrawal & Srikant,
+// VLDB'94). It exists as the classical baseline for correctness
+// cross-checks and the scalability comparison: on dense data it
+// generates candidate sets explosively, illustrating why the paper
+// builds on pattern-growth miners instead.
+func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var out []Pattern
+
+	// Level 1: frequent single items.
+	counts := map[int32]int{}
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var level [][]int32
+	for it, c := range counts {
+		if c >= opt.MinSupport {
+			level = append(level, []int32{it})
+			out = append(out, Pattern{Items: []int32{it}, Support: c})
+		}
+	}
+	sortItemsets(level)
+	if opt.MaxPatterns > 0 && len(out) > opt.MaxPatterns {
+		return out[:opt.MaxPatterns], ErrPatternBudget
+	}
+
+	k := 1
+	for len(level) > 0 {
+		k++
+		if opt.MaxLen > 0 && k > opt.MaxLen {
+			break
+		}
+		cands := generateCandidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		// Count candidate support with one pass over the transactions.
+		candCount := make([]int, len(cands))
+		for _, t := range tx {
+			if len(t) < k {
+				continue
+			}
+			for ci, cand := range cands {
+				if containsAll(t, cand) {
+					candCount[ci]++
+				}
+			}
+		}
+		var next [][]int32
+		for ci, cand := range cands {
+			if candCount[ci] >= opt.MinSupport {
+				next = append(next, cand)
+				out = append(out, Pattern{Items: cand, Support: candCount[ci]})
+				if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
+					return out, ErrPatternBudget
+				}
+			}
+		}
+		level = next
+	}
+	return out, nil
+}
+
+// generateCandidates joins frequent (k-1)-itemsets sharing a (k-2)
+// prefix and prunes candidates with an infrequent (k-1)-subset.
+func generateCandidates(level [][]int32) [][]int32 {
+	freq := map[string]bool{}
+	for _, s := range level {
+		freq[itemsKey(s)] = true
+	}
+	var cands [][]int32
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				// level is sorted; once prefixes diverge no later j matches.
+				break
+			}
+			var cand []int32
+			if a[k-1] < b[k-1] {
+				cand = append(append([]int32(nil), a...), b[k-1])
+			} else {
+				cand = append(append([]int32(nil), b...), a[k-1])
+			}
+			if allSubsetsFrequent(cand, freq) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	return cands
+}
+
+func samePrefix(a, b []int32, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent checks the Apriori pruning property on every
+// (k-1)-subset of cand.
+func allSubsetsFrequent(cand []int32, freq map[string]bool) bool {
+	sub := make([]int32, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !freq[itemsKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsAll reports whether sorted transaction t contains every item
+// of sorted candidate cand (merge scan).
+func containsAll(t, cand []int32) bool {
+	i := 0
+	for _, c := range cand {
+		for i < len(t) && t[i] < c {
+			i++
+		}
+		if i >= len(t) || t[i] != c {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func itemsKey(items []int32) string {
+	b := make([]byte, 0, 4*len(items))
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func sortItemsets(sets [][]int32) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

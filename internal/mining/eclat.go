@@ -1,0 +1,111 @@
+package mining
+
+import (
+	"sort"
+
+	"dfpc/internal/bitset"
+)
+
+// Eclat mines all frequent itemsets with a vertical representation
+// (Zaki, 2000): each item carries the bitset of transactions containing
+// it, and candidate extensions intersect bitsets instead of re-scanning
+// the database. On dense data with fast popcount this is competitive
+// with FP-Growth and is provided both as a correctness cross-check and
+// because the paper's framing ("existing frequent pattern mining
+// algorithms can facilitate the pattern generation") spans the whole
+// algorithm family. Results are identical to FPGrowth's.
+func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	n := len(tx)
+	// Build vertical columns for frequent items.
+	counts := map[int32]int{}
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	type column struct {
+		item  int32
+		tids  *bitset.Bitset
+		count int
+	}
+	var cols []column
+	for it, c := range counts {
+		if c >= opt.MinSupport {
+			cols = append(cols, column{item: it, count: c})
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].item < cols[j].item })
+	index := map[int32]int{}
+	for i := range cols {
+		cols[i].tids = bitset.New(n)
+		index[cols[i].item] = i
+	}
+	for ti, t := range tx {
+		for _, it := range t {
+			if ci, ok := index[it]; ok {
+				cols[ci].tids.Set(ti)
+			}
+		}
+	}
+
+	m := &eclatMiner{opt: opt, dc: deadlineChecker{deadline: opt.Deadline}}
+	// Depth-first over prefix classes: extend each item with the items
+	// after it (ascending item order keeps patterns canonical).
+	type node struct {
+		item  int32
+		tids  *bitset.Bitset
+		count int
+	}
+	var mine func(prefix []int32, class []node) error
+	mine = func(prefix []int32, class []node) error {
+		for i, nd := range class {
+			newPrefix := append(append([]int32(nil), prefix...), nd.item)
+			if err := m.emit(newPrefix, nd.count); err != nil {
+				return err
+			}
+			if m.opt.MaxLen > 0 && len(newPrefix) >= m.opt.MaxLen {
+				continue
+			}
+			var next []node
+			for _, other := range class[i+1:] {
+				inter := nd.tids.Clone()
+				inter.And(other.tids)
+				if c := inter.Count(); c >= m.opt.MinSupport {
+					next = append(next, node{item: other.item, tids: inter, count: c})
+				}
+			}
+			if len(next) > 0 {
+				if err := mine(newPrefix, next); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	root := make([]node, len(cols))
+	for i, c := range cols {
+		root[i] = node{item: c.item, tids: c.tids, count: c.count}
+	}
+	err := mine(nil, root)
+	return m.out, err
+}
+
+type eclatMiner struct {
+	opt Options
+	out []Pattern
+	dc  deadlineChecker
+}
+
+func (m *eclatMiner) emit(items []int32, support int) error {
+	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
+		return ErrPatternBudget
+	}
+	if m.dc.expired() {
+		return ErrDeadline
+	}
+	m.out = append(m.out, Pattern{Items: append([]int32(nil), items...), Support: support})
+	return nil
+}

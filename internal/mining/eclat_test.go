@@ -1,0 +1,127 @@
+package mining
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEclatMatchesFPGrowth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tx := randomTx(r)
+		minSup := 1 + r.Intn(4)
+		ec, err1 := Eclat(tx, Options{MinSupport: minSup})
+		fp, err2 := FPGrowth(tx, Options{MinSupport: minSup})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return patternsEqual(ec, fp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEclatMaxLen(t *testing.T) {
+	tx := classicTx()
+	got, err := Eclat(tx, Options{MinSupport: 2, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got {
+		if p.Len() > 2 {
+			t.Fatalf("pattern %v exceeds MaxLen", p.Items)
+		}
+	}
+	want, _ := FPGrowth(tx, Options{MinSupport: 2, MaxLen: 2})
+	if !patternsEqual(got, want) {
+		t.Fatal("Eclat MaxLen results differ from FPGrowth")
+	}
+}
+
+func TestEclatBudget(t *testing.T) {
+	_, err := Eclat(classicTx(), Options{MinSupport: 1, MaxPatterns: 4})
+	if !errors.Is(err, ErrPatternBudget) {
+		t.Fatalf("err = %v, want ErrPatternBudget", err)
+	}
+}
+
+func TestEclatValidation(t *testing.T) {
+	if _, err := Eclat(nil, Options{MinSupport: 0}); err == nil {
+		t.Fatal("MinSupport=0 should error")
+	}
+}
+
+func TestEclatEmpty(t *testing.T) {
+	got, err := Eclat(nil, Options{MinSupport: 1})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func BenchmarkEclatClassic(b *testing.B) {
+	tx := classicTx()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eclat(tx, Options{MinSupport: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFilterMaximal(t *testing.T) {
+	ps := []Pattern{
+		{Items: []int32{0}, Support: 5},
+		{Items: []int32{1}, Support: 4},
+		{Items: []int32{0, 1}, Support: 3},
+		{Items: []int32{2}, Support: 2},
+	}
+	max := FilterMaximal(ps, 3)
+	SortPatterns(max)
+	if len(max) != 2 {
+		t.Fatalf("maximal = %v", max)
+	}
+	// {0,1} and {2} are maximal; {0} and {1} are subsumed.
+	if max[0].Len() != 2 && max[1].Len() != 2 {
+		t.Fatalf("maximal set wrong: %v", max)
+	}
+}
+
+func TestMaximalSubsetOfClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tx := randomTx(r)
+		all, err := FPGrowth(tx, Options{MinSupport: 2})
+		if err != nil {
+			return false
+		}
+		numItems := 0
+		for _, t := range tx {
+			for _, it := range t {
+				if int(it) >= numItems {
+					numItems = int(it) + 1
+				}
+			}
+		}
+		closed := FilterClosed(all, numItems)
+		maximal := FilterMaximal(all, numItems)
+		if len(maximal) > len(closed) {
+			return false
+		}
+		// Every maximal pattern must be closed.
+		closedKeys := map[string]bool{}
+		for _, p := range closed {
+			closedKeys[p.Key()] = true
+		}
+		for _, p := range maximal {
+			if !closedKeys[p.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package mining
+
+import "sort"
+
+// FPClose mines the closed frequent itemsets: frequent itemsets with no
+// strict superset of equal support. This is the miner the paper's
+// feature-generation step uses ("We use FPClose [9] to generate closed
+// patterns"). The implementation follows the CLOSET/FPClose family:
+// FP-tree projection with
+//
+//   - item merging: conditional-base items whose count equals the
+//     prefix support belong to the prefix closure and are hoisted into
+//     it,
+//   - single-path closure enumeration: a non-branching conditional tree
+//     contributes one closed set per strict count drop along the path,
+//   - subsumption pruning: a candidate subsumed by an already-found
+//     closed pattern of equal support is skipped along with its entire
+//     subtree.
+//
+// It returns ErrPatternBudget if opt.MaxPatterns is exceeded. If
+// opt.MaxLen is set, results are closed with respect to the length-
+// bounded pattern universe.
+func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	numItems := 0
+	for _, t := range tx {
+		for _, it := range t {
+			if int(it) >= numItems {
+				numItems = int(it) + 1
+			}
+		}
+	}
+	w := make([]int, len(tx))
+	for i := range w {
+		w[i] = 1
+	}
+	m := &closeMiner{opt: opt, numItems: numItems, index: map[int][]itemMask{}, dc: deadlineChecker{deadline: opt.Deadline}}
+	tree := buildTree(tx, w, opt.MinSupport)
+	err := m.mine(tree, nil)
+	return m.out, err
+}
+
+type closeMiner struct {
+	opt      Options
+	numItems int
+	index    map[int][]itemMask // support → masks of closed patterns found
+	out      []Pattern
+	dc       deadlineChecker
+}
+
+// subsumed reports whether items (with the given support) is a subset of
+// an already-found closed pattern with the same support.
+func (m *closeMiner) subsumed(items []int32, support int) bool {
+	mask := maskOf(items, m.numItems)
+	for _, y := range m.index[support] {
+		if mask.subsetOf(y) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit records a closed pattern and indexes it. Callers must have
+// already established non-subsumption.
+func (m *closeMiner) emit(items []int32, support int) error {
+	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
+		return ErrPatternBudget
+	}
+	if m.dc.expired() {
+		return ErrDeadline
+	}
+	sorted := append([]int32(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	m.out = append(m.out, Pattern{Items: sorted, Support: support})
+	m.index[support] = append(m.index[support], maskOf(sorted, m.numItems))
+	return nil
+}
+
+func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
+	if tree.empty() {
+		return nil
+	}
+	if path := tree.singlePath(); path != nil {
+		return m.minePath(path, prefix)
+	}
+	for _, it := range tree.itemsAscending() {
+		support := tree.counts[it]
+		candidate := append(append([]int32(nil), prefix...), it)
+		condTx, condW := tree.conditionalBase(it)
+
+		// Item merging: conditional-base items occurring in every
+		// transaction that contains the candidate are part of its
+		// closure.
+		condCounts := map[int32]int{}
+		for i, t := range condTx {
+			for _, cit := range t {
+				condCounts[cit] += condW[i]
+			}
+		}
+		merged := map[int32]bool{}
+		for cit, c := range condCounts {
+			if c == support {
+				candidate = append(candidate, cit)
+				merged[cit] = true
+			}
+		}
+
+		if m.opt.MaxLen > 0 && len(candidate) > m.opt.MaxLen {
+			continue
+		}
+		if m.subsumed(candidate, support) {
+			// Everything below this candidate closes into patterns
+			// already discovered from the subsuming branch.
+			continue
+		}
+		if err := m.emit(candidate, support); err != nil {
+			return err
+		}
+		if m.opt.MaxLen > 0 && len(candidate) >= m.opt.MaxLen {
+			continue
+		}
+		// Strip merged items from the conditional base before building
+		// the subtree: they are now part of the prefix.
+		if len(merged) > 0 {
+			for i, t := range condTx {
+				kept := t[:0]
+				for _, cit := range t {
+					if !merged[cit] {
+						kept = append(kept, cit)
+					}
+				}
+				condTx[i] = kept
+			}
+		}
+		condTree := buildTree(condTx, condW, m.opt.MinSupport)
+		if err := m.mine(condTree, candidate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minePath emits the closed patterns of a single-path conditional tree:
+// one per position where the node count strictly drops (or at the leaf),
+// consisting of the prefix plus the path items up to that position.
+func (m *closeMiner) minePath(path []*fpNode, prefix []int32) error {
+	for j := 0; j < len(path); j++ {
+		last := j == len(path)-1
+		if !last && path[j].count == path[j+1].count {
+			continue
+		}
+		candidate := append(append([]int32(nil), prefix...), pathItems(path[:j+1])...)
+		if m.opt.MaxLen > 0 && len(candidate) > m.opt.MaxLen {
+			// Longer prefixes only grow; stop.
+			break
+		}
+		support := path[j].count
+		if m.subsumed(candidate, support) {
+			continue
+		}
+		if err := m.emit(candidate, support); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pathItems(path []*fpNode) []int32 {
+	items := make([]int32, len(path))
+	for i, n := range path {
+		items[i] = n.item
+	}
+	return items
+}

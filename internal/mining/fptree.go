@@ -1,0 +1,151 @@
+package mining
+
+import "sort"
+
+// fpNode is one node of an FP-tree. Children are kept as a singly linked
+// sibling list, which profiles better than per-node maps at the fanouts
+// seen in categorical data.
+type fpNode struct {
+	item    int32
+	count   int
+	parent  *fpNode
+	child   *fpNode // first child
+	sibling *fpNode // next sibling under the same parent
+	link    *fpNode // next node with the same item (header chain)
+}
+
+// fpTree is an FP-tree plus its header table.
+type fpTree struct {
+	root *fpNode
+	// heads and counts are keyed by item ID; items absent from the tree
+	// have nil head and zero count.
+	heads  map[int32]*fpNode
+	counts map[int32]int
+	// order ranks items by descending total count (ties broken by item
+	// ID) so transactions insert in a canonical order.
+	order map[int32]int
+}
+
+// buildTree constructs an FP-tree from weighted transactions, keeping
+// only items with count ≥ minSupport. Each transaction tx[i] carries
+// weight w[i] (plain transaction sets pass weight 1).
+func buildTree(tx [][]int32, w []int, minSupport int) *fpTree {
+	counts := map[int32]int{}
+	for i, t := range tx {
+		for _, it := range t {
+			counts[it] += w[i]
+		}
+	}
+	kept := make([]int32, 0, len(counts))
+	for it, c := range counts {
+		if c >= minSupport {
+			kept = append(kept, it)
+		} else {
+			delete(counts, it)
+		}
+	}
+	// Rank kept items by descending count, then ascending ID.
+	sort.Slice(kept, func(i, j int) bool {
+		if counts[kept[i]] != counts[kept[j]] {
+			return counts[kept[i]] > counts[kept[j]]
+		}
+		return kept[i] < kept[j]
+	})
+	t := &fpTree{
+		root:   &fpNode{item: -1},
+		heads:  make(map[int32]*fpNode, len(kept)),
+		counts: counts,
+		order:  make(map[int32]int, len(kept)),
+	}
+	for rank, it := range kept {
+		t.order[it] = rank
+	}
+	buf := make([]int32, 0, 64)
+	for i, trans := range tx {
+		buf = buf[:0]
+		for _, it := range trans {
+			if _, ok := t.order[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(a, b int) bool { return t.order[buf[a]] < t.order[buf[b]] })
+		t.insert(buf, w[i])
+	}
+	return t
+}
+
+// insert adds one (ordered, filtered) transaction with the given weight.
+func (t *fpTree) insert(items []int32, weight int) {
+	node := t.root
+	for _, it := range items {
+		var child *fpNode
+		for c := node.child; c != nil; c = c.sibling {
+			if c.item == it {
+				child = c
+				break
+			}
+		}
+		if child == nil {
+			child = &fpNode{item: it, parent: node, sibling: node.child}
+			node.child = child
+			child.link = t.heads[it]
+			t.heads[it] = child
+		}
+		child.count += weight
+		node = child
+	}
+}
+
+// itemsAscending returns the tree's items ordered by ascending rank
+// frequency position reversed — i.e. least-frequent first, the order in
+// which FP-Growth processes header entries.
+func (t *fpTree) itemsAscending() []int32 {
+	items := make([]int32, 0, len(t.order))
+	for it := range t.order {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return t.order[items[i]] > t.order[items[j]] })
+	return items
+}
+
+// conditionalBase collects the prefix paths of item it as weighted
+// transactions: for each node with that item, the path to the root with
+// weight = node count.
+func (t *fpTree) conditionalBase(it int32) (tx [][]int32, w []int) {
+	for node := t.heads[it]; node != nil; node = node.link {
+		if node.count == 0 {
+			continue
+		}
+		var path []int32
+		for p := node.parent; p != nil && p.item >= 0; p = p.parent {
+			path = append(path, p.item)
+		}
+		if len(path) > 0 {
+			tx = append(tx, path)
+			w = append(w, node.count)
+		} else {
+			// Root-level node: contributes an empty prefix path. Keep it
+			// so total weight (support) accounting stays exact for
+			// callers that sum weights.
+			tx = append(tx, nil)
+			w = append(w, node.count)
+		}
+	}
+	return tx, w
+}
+
+// singlePath returns the tree's unique root-to-leaf path if the tree has
+// no branching, or nil otherwise.
+func (t *fpTree) singlePath() []*fpNode {
+	var path []*fpNode
+	for node := t.root.child; node != nil; node = node.child {
+		if node.sibling != nil {
+			return nil
+		}
+		path = append(path, node)
+	}
+	return path
+}
+
+// empty reports whether the tree holds no items.
+func (t *fpTree) empty() bool { return t.root.child == nil }

@@ -1,0 +1,205 @@
+// Package mining implements the frequent-itemset miners the paper's
+// feature-generation step depends on: FP-Growth for all frequent
+// patterns, an FPClose-style closed-pattern miner (the paper uses
+// FPClose [Grahne & Zhu, FIMI'03] to generate closed patterns), and a
+// classic Apriori baseline. All miners consume transactions of dense
+// int32 item IDs as produced by dataset.Encode.
+package mining
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrPatternBudget is returned when a miner exceeds Options.MaxPatterns.
+// The scalability experiments (Tables 3–5) use it to mark min_sup
+// settings whose enumeration is infeasible, mirroring the paper's "N/A"
+// rows at min_sup = 1.
+var ErrPatternBudget = errors.New("mining: pattern budget exceeded")
+
+// ErrDeadline is returned when a miner runs past Options.Deadline. Like
+// ErrPatternBudget it marks an enumeration as infeasible; the partial
+// pattern set found so far is still returned.
+var ErrDeadline = errors.New("mining: deadline exceeded")
+
+// Pattern is a frequent itemset together with its absolute support in
+// the mined transaction set.
+type Pattern struct {
+	Items   []int32 // sorted ascending
+	Support int
+}
+
+// Len returns the number of items in the pattern.
+func (p Pattern) Len() int { return len(p.Items) }
+
+// Key returns a canonical string key for the itemset, used for
+// deduplication across per-class mining runs.
+func (p Pattern) Key() string {
+	b := make([]byte, 0, 4*len(p.Items))
+	for _, it := range p.Items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("%v:%d", p.Items, p.Support)
+}
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the absolute minimum support count (≥ 1).
+	MinSupport int
+	// MaxPatterns aborts the run with ErrPatternBudget once more than
+	// this many patterns have been produced. 0 means unlimited.
+	MaxPatterns int
+	// MaxLen caps pattern length; 0 means unlimited.
+	MaxLen int
+	// Deadline aborts the run with ErrDeadline once passed (checked
+	// periodically). Zero means no deadline.
+	Deadline time.Time
+}
+
+// deadlineChecker amortizes time checks to one per checkEvery emissions.
+type deadlineChecker struct {
+	deadline time.Time
+	counter  int
+}
+
+const checkEvery = 1024
+
+// expired reports whether the deadline has passed, polling the clock
+// only every checkEvery calls.
+func (dc *deadlineChecker) expired() bool {
+	if dc.deadline.IsZero() {
+		return false
+	}
+	dc.counter++
+	if dc.counter%checkEvery != 0 {
+		return false
+	}
+	return time.Now().After(dc.deadline)
+}
+
+func (o Options) validate() error {
+	if o.MinSupport < 1 {
+		return fmt.Errorf("mining: MinSupport = %d, want >= 1", o.MinSupport)
+	}
+	if o.MaxPatterns < 0 || o.MaxLen < 0 {
+		return fmt.Errorf("mining: negative limit")
+	}
+	return nil
+}
+
+// SortPatterns orders patterns by descending support, then ascending
+// length, then lexicographic items — a stable canonical order for tests
+// and reports.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := range a.Items {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+}
+
+// itemMask is a small bitmask over the global item universe, used for
+// O(d/64) subset tests in the closed-pattern index.
+type itemMask []uint64
+
+func newItemMask(numItems int) itemMask {
+	return make(itemMask, (numItems+63)/64)
+}
+
+func maskOf(items []int32, numItems int) itemMask {
+	m := newItemMask(numItems)
+	for _, it := range items {
+		m[it/64] |= 1 << uint(it%64)
+	}
+	return m
+}
+
+// subsetOf reports whether m ⊆ o.
+func (m itemMask) subsetOf(o itemMask) bool {
+	for i := range m {
+		if m[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterClosed returns only the closed patterns: those with no strict
+// superset of equal support. It is the reference implementation used to
+// validate FPClose and for small ad-hoc analyses; complexity is
+// quadratic within each support group.
+func FilterClosed(ps []Pattern, numItems int) []Pattern {
+	bySupport := map[int][]int{}
+	for i, p := range ps {
+		bySupport[p.Support] = append(bySupport[p.Support], i)
+	}
+	masks := make([]itemMask, len(ps))
+	for i, p := range ps {
+		masks[i] = maskOf(p.Items, numItems)
+	}
+	closed := make([]Pattern, 0, len(ps))
+	for _, group := range bySupport {
+		for _, i := range group {
+			isClosed := true
+			for _, j := range group {
+				if i == j || len(ps[j].Items) <= len(ps[i].Items) {
+					continue
+				}
+				if masks[i].subsetOf(masks[j]) {
+					isClosed = false
+					break
+				}
+			}
+			if isClosed {
+				closed = append(closed, ps[i])
+			}
+		}
+	}
+	return closed
+}
+
+// FilterMaximal returns only the maximal frequent patterns: those with
+// no frequent strict superset at all (regardless of support). The
+// maximal set is a subset of the closed set and gives the most compact
+// summary of the frequent-pattern border; it is provided for analyses
+// and ablations (the classification framework itself uses closed
+// patterns, which preserve supports exactly).
+func FilterMaximal(ps []Pattern, numItems int) []Pattern {
+	masks := make([]itemMask, len(ps))
+	for i, p := range ps {
+		masks[i] = maskOf(p.Items, numItems)
+	}
+	maximal := make([]Pattern, 0, len(ps))
+	for i, p := range ps {
+		isMax := true
+		for j, q := range ps {
+			if i == j || len(q.Items) <= len(p.Items) {
+				continue
+			}
+			if masks[i].subsetOf(masks[j]) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, p)
+		}
+	}
+	return maximal
+}

@@ -1,0 +1,95 @@
+package mining
+
+import (
+	"fmt"
+	"time"
+
+	"dfpc/internal/dataset"
+)
+
+// PerClassOptions configures the paper's feature-generation step
+// (Section 3: "The data is partitioned according to the class label.
+// Frequent patterns are discovered in each partition with min_sup").
+type PerClassOptions struct {
+	// MinSupport is the relative minimum support θ0 ∈ (0, 1], applied
+	// within each class partition.
+	MinSupport float64
+	// Closed selects closed-pattern mining (FPClose, the paper's
+	// choice); false mines all frequent patterns (the Pat_All ablation
+	// pool is still closed in the paper, but all-pattern pools are
+	// useful for the ablation benchmarks).
+	Closed bool
+	// MaxPatterns caps the total pattern count across partitions;
+	// exceeded → ErrPatternBudget. 0 = unlimited.
+	MaxPatterns int
+	// MaxLen caps pattern length. 0 = unlimited.
+	MaxLen int
+	// MinLen drops patterns shorter than this after mining. The
+	// classification framework sets MinLen = 2 because single items are
+	// already part of the feature space I. 0 or 1 keeps everything.
+	MinLen int
+	// Deadline aborts mining with ErrDeadline once passed (0 = none).
+	Deadline time.Time
+}
+
+// MinePerClass partitions the binary dataset by class, mines each
+// partition with the relative min_sup, and returns the deduplicated
+// union F of the per-class pattern sets. Each returned pattern's
+// Support is recomputed as its global absolute support over all of b
+// (per-class supports are recoverable through b.Cover and b.ClassMasks,
+// which is how the measures package consumes them).
+func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
+	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
+		return nil, fmt.Errorf("mining: relative MinSupport = %v, want (0,1]", opt.MinSupport)
+	}
+	seen := map[string]bool{}
+	var union []Pattern
+	budget := opt.MaxPatterns
+	for c := 0; c < b.NumClasses(); c++ {
+		rows := b.ClassMasks[c].Indices()
+		if len(rows) == 0 {
+			continue
+		}
+		tx := make([][]int32, len(rows))
+		for i, r := range rows {
+			tx[i] = b.Rows[r]
+		}
+		abs := int(opt.MinSupport*float64(len(rows)) + 0.5)
+		if abs < 1 {
+			abs = 1
+		}
+		mopt := Options{MinSupport: abs, MaxLen: opt.MaxLen, Deadline: opt.Deadline}
+		if budget > 0 {
+			remaining := budget - len(union)
+			if remaining <= 0 {
+				return union, ErrPatternBudget
+			}
+			mopt.MaxPatterns = remaining
+		}
+		var ps []Pattern
+		var err error
+		if opt.Closed {
+			ps, err = FPClose(tx, mopt)
+		} else {
+			ps, err = FPGrowth(tx, mopt)
+		}
+		for _, p := range ps {
+			if opt.MinLen > 1 && p.Len() < opt.MinLen {
+				continue
+			}
+			key := p.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Recompute global support over the full dataset.
+			p.Support = b.Cover(p.Items).Count()
+			union = append(union, p)
+		}
+		if err != nil {
+			return union, err
+		}
+	}
+	SortPatterns(union)
+	return union, nil
+}

@@ -1,0 +1,119 @@
+package mining
+
+import (
+	"errors"
+	"testing"
+
+	"dfpc/internal/dataset"
+)
+
+// twoClassDS builds a dataset where class 0 rows share pattern
+// {a=0, b=0} and class 1 rows share {a=1, b=1}.
+func twoClassDS() *dataset.Binary {
+	d := &dataset.Dataset{
+		Name: "two",
+		Attrs: []dataset.Attribute{
+			{Name: "a", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+			{Name: "b", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+			{Name: "c", Kind: dataset.Categorical, Values: []string{"0", "1"}},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	rows := [][]float64{
+		{0, 0, 0}, {0, 0, 1}, {0, 0, 0}, {0, 0, 1}, // class 0
+		{1, 1, 0}, {1, 1, 1}, {1, 1, 0}, {1, 1, 1}, // class 1
+	}
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	d.Rows = rows
+	d.Labels = labels
+	b, err := dataset.Encode(d)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestMinePerClassFindsClassPatterns(t *testing.T) {
+	b := twoClassDS()
+	ps, err := MinePerClass(b, PerClassOptions{MinSupport: 0.9, Closed: true, MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item IDs: a=0→0, a=1→1, b=0→2, b=1→3, c=0→4, c=1→5.
+	// Expect {a=0,b=0} and {a=1,b=1}, each with global support 4.
+	want := map[string]bool{
+		Pattern{Items: []int32{0, 2}}.Key(): false,
+		Pattern{Items: []int32{1, 3}}.Key(): false,
+	}
+	for _, p := range ps {
+		if _, ok := want[p.Key()]; ok {
+			want[p.Key()] = true
+			if p.Support != 4 {
+				t.Errorf("pattern %v: global support = %d, want 4", p.Items, p.Support)
+			}
+		}
+	}
+	for k, found := range want {
+		if !found {
+			t.Errorf("expected pattern with key %q not mined", k)
+		}
+	}
+}
+
+func TestMinePerClassMinLenDropsSingles(t *testing.T) {
+	b := twoClassDS()
+	ps, err := MinePerClass(b, PerClassOptions{MinSupport: 0.5, Closed: true, MinLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p.Len() < 2 {
+			t.Fatalf("pattern %v shorter than MinLen", p.Items)
+		}
+	}
+}
+
+func TestMinePerClassDedupes(t *testing.T) {
+	b := twoClassDS()
+	ps, err := MinePerClass(b, PerClassOptions{MinSupport: 0.1, Closed: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate pattern %v in union", p.Items)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestMinePerClassGlobalSupport(t *testing.T) {
+	b := twoClassDS()
+	ps, err := MinePerClass(b, PerClassOptions{MinSupport: 0.5, Closed: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if got := b.Cover(p.Items).Count(); got != p.Support {
+			t.Fatalf("pattern %v: support %d, cover says %d", p.Items, p.Support, got)
+		}
+	}
+}
+
+func TestMinePerClassBadMinSup(t *testing.T) {
+	b := twoClassDS()
+	for _, ms := range []float64{0, -0.5, 1.5} {
+		if _, err := MinePerClass(b, PerClassOptions{MinSupport: ms}); err == nil {
+			t.Errorf("MinSupport=%v should error", ms)
+		}
+	}
+}
+
+func TestMinePerClassBudget(t *testing.T) {
+	b := twoClassDS()
+	_, err := MinePerClass(b, PerClassOptions{MinSupport: 0.1, Closed: false, MaxPatterns: 2})
+	if !errors.Is(err, ErrPatternBudget) {
+		t.Fatalf("err = %v, want ErrPatternBudget", err)
+	}
+}

@@ -1,0 +1,169 @@
+package nbayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeparableData(t *testing.T) {
+	var x [][]int32
+	var y []int
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			x = append(x, []int32{0})
+			y = append(y, 0)
+		} else {
+			x = append(x, []int32{1})
+			y = append(y, 1)
+		}
+	}
+	m, err := Train(x, y, 2, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got := m.Predict(x[i]); got != y[i] {
+			t.Fatalf("row %d = %d, want %d", i, got, y[i])
+		}
+	}
+}
+
+func TestPriorDominatesWithoutEvidence(t *testing.T) {
+	// 90% of rows are class 0; an empty row must predict class 0.
+	var x [][]int32
+	var y []int
+	for i := 0; i < 100; i++ {
+		x = append(x, nil)
+		if i < 90 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 1)
+		}
+	}
+	m, err := Train(x, y, 2, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(nil); got != 0 {
+		t.Fatalf("empty row predicted %d, want majority 0", got)
+	}
+}
+
+func TestHandComputedPosterior(t *testing.T) {
+	// 4 rows: class 0 = {f0}, {f0}; class 1 = {}, {}. Alpha 1.
+	// P(f0|c0) = (2+1)/(2+2) = 0.75; P(f0|c1) = (0+1)/(2+2) = 0.25.
+	x := [][]int32{{0}, {0}, {}, {}}
+	y := []int{0, 0, 1, 1}
+	m, err := Train(x, y, 2, 1, Config{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Exp(m.logP[0][0]); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("P(f0|c0) = %v, want 0.75", got)
+	}
+	if got := math.Exp(m.logP[1][0]); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P(f0|c1) = %v, want 0.25", got)
+	}
+	if m.Predict([]int32{0}) != 0 || m.Predict(nil) != 1 {
+		t.Fatal("posterior decisions wrong")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, 2, 2, Config{}); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := Train([][]int32{{0}}, []int{0, 1}, 2, 2, Config{}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Train([][]int32{{0}}, []int{5}, 2, 2, Config{}); err == nil {
+		t.Fatal("bad label should error")
+	}
+	if _, err := Train([][]int32{{9}}, []int{0}, 2, 2, Config{}); err == nil {
+		t.Fatal("out-of-range feature should error")
+	}
+	if _, err := Train([][]int32{{0}}, []int{0}, 0, 2, Config{}); err == nil {
+		t.Fatal("numClasses=0 should error")
+	}
+}
+
+func TestUnknownFeatureIgnored(t *testing.T) {
+	x := [][]int32{{0}, {1}}
+	y := []int{0, 1}
+	m, err := Train(x, y, 2, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 99 was never seen; prediction must not panic and should
+	// fall back to the known evidence.
+	if got := m.Predict([]int32{0, 99}); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestQuickBeatsOrMatchesMajority(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(200)
+		var x [][]int32
+		var y []int
+		count := [2]int{}
+		for i := 0; i < n; i++ {
+			c := r.Intn(2)
+			var row []int32
+			if c == 1 && r.Intn(4) != 0 {
+				row = append(row, 0)
+			}
+			if r.Intn(2) == 0 {
+				row = append(row, 1)
+			}
+			x = append(x, row)
+			y = append(y, c)
+			count[c]++
+		}
+		m, err := Train(x, y, 2, 2, Config{})
+		if err != nil {
+			return false
+		}
+		correct := 0
+		for i := range x {
+			if m.Predict(x[i]) == y[i] {
+				correct++
+			}
+		}
+		maj := count[0]
+		if count[1] > maj {
+			maj = count[1]
+		}
+		return correct >= maj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var x [][]int32
+	var y []int
+	for i := 0; i < 500; i++ {
+		var row []int32
+		for f := int32(0); f < 50; f++ {
+			if r.Intn(3) == 0 {
+				row = append(row, f)
+			}
+		}
+		x = append(x, row)
+		y = append(y, r.Intn(3))
+	}
+	m, err := Train(x, y, 3, 50, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x[i%len(x)])
+	}
+}

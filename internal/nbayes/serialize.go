@@ -1,0 +1,52 @@
+package nbayes
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshot is the gob-encodable form of a trained Model.
+type snapshot struct {
+	NumClasses  int
+	NumFeatures int
+	LogPrior    []float64
+	LogP        [][]float64
+	LogQ        [][]float64
+	Baseline    []float64
+}
+
+// MarshalBinary encodes the trained model (encoding.BinaryMarshaler).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapshot{
+		NumClasses:  m.numClasses,
+		NumFeatures: m.numFeatures,
+		LogPrior:    m.logPrior,
+		LogP:        m.logP,
+		LogQ:        m.logQ,
+		Baseline:    m.baseline,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nbayes: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model encoded by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("nbayes: unmarshal: %w", err)
+	}
+	if s.NumClasses < 1 || s.NumFeatures < 1 {
+		return fmt.Errorf("nbayes: unmarshal: bad dimensions (%d, %d)", s.NumClasses, s.NumFeatures)
+	}
+	m.numClasses = s.NumClasses
+	m.numFeatures = s.NumFeatures
+	m.logPrior = s.LogPrior
+	m.logP = s.LogP
+	m.logQ = s.LogQ
+	m.baseline = s.Baseline
+	return nil
+}

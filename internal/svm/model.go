@@ -1,0 +1,165 @@
+package svm
+
+import "fmt"
+
+// Config configures training.
+type Config struct {
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Kernel selects the kernel (zero value = linear).
+	Kernel Kernel
+	// Eps is the KKT violation tolerance for SMO convergence
+	// (default 1e-3, LIBSVM's default).
+	Eps float64
+	// MaxIter caps SMO iterations per binary problem (default
+	// 100·n, at least 10000).
+	MaxIter int
+	// NumFeatures is the dimensionality of the feature space, used to
+	// resolve the default γ = 1/numFeatures. Required for RBF/Poly with
+	// Gamma <= 0.
+	NumFeatures int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Eps <= 0 {
+		c.Eps = 1e-3
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100 * n
+		if c.MaxIter < 10000 {
+			c.MaxIter = 10000
+		}
+	}
+	return c
+}
+
+// Model is a trained (possibly multi-class) SVM. Multi-class problems
+// are decomposed one-vs-one as in LIBSVM; prediction is by voting.
+type Model struct {
+	numClasses int
+	// pairs[k] is the binary model for the k-th class pair; pairClass
+	// holds the (a, b) class indices with a < b; its decision > 0 votes
+	// for a, otherwise b.
+	pairs     []*binaryModel
+	pairClass [][2]int
+	// singleClass >= 0 marks a degenerate training set with only one
+	// class: Predict always returns it.
+	singleClass int
+	// platt holds per-pair sigmoid calibration, fitted on demand by
+	// CalibrateProbabilities.
+	platt []plattParams
+}
+
+// Train fits an SVM on sparse binary rows x with class labels y in
+// [0, numClasses).
+func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("svm: numClasses = %d", numClasses)
+	}
+	cfg = cfg.withDefaults(len(x))
+	gamma := cfg.Kernel.resolveGamma(cfg.NumFeatures)
+
+	byClass := make([][]int, numClasses)
+	for i, yi := range y {
+		if yi < 0 || yi >= numClasses {
+			return nil, fmt.Errorf("svm: label %d out of range [0,%d)", yi, numClasses)
+		}
+		byClass[yi] = append(byClass[yi], i)
+	}
+	present := make([]int, 0, numClasses)
+	for c, rows := range byClass {
+		if len(rows) > 0 {
+			present = append(present, c)
+		}
+	}
+	m := &Model{numClasses: numClasses, singleClass: -1}
+	if len(present) == 1 {
+		m.singleClass = present[0]
+		return m, nil
+	}
+
+	for ai := 0; ai < len(present); ai++ {
+		for bi := ai + 1; bi < len(present); bi++ {
+			a, b := present[ai], present[bi]
+			rowsA, rowsB := byClass[a], byClass[b]
+			px := make([][]int32, 0, len(rowsA)+len(rowsB))
+			py := make([]float64, 0, len(rowsA)+len(rowsB))
+			for _, r := range rowsA {
+				px = append(px, x[r])
+				py = append(py, 1)
+			}
+			for _, r := range rowsB {
+				px = append(px, x[r])
+				py = append(py, -1)
+			}
+			bm, err := trainBinary(px, py, smoConfig{
+				c:       cfg.C,
+				eps:     cfg.Eps,
+				maxIter: cfg.MaxIter,
+				kernel:  cfg.Kernel,
+				gamma:   gamma,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
+			}
+			m.pairs = append(m.pairs, bm)
+			m.pairClass = append(m.pairClass, [2]int{a, b})
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the predicted class for a sparse binary row.
+func (m *Model) Predict(x []int32) int {
+	if m.singleClass >= 0 {
+		return m.singleClass
+	}
+	votes := make([]int, m.numClasses)
+	score := make([]float64, m.numClasses) // tie-break by summed |decision|
+	for k, bm := range m.pairs {
+		d := bm.decision(x)
+		a, b := m.pairClass[k][0], m.pairClass[k][1]
+		if d > 0 {
+			votes[a]++
+			score[a] += d
+		} else {
+			votes[b]++
+			score[b] -= d
+		}
+	}
+	best := 0
+	for c := 1; c < m.numClasses; c++ {
+		if votes[c] > votes[best] || (votes[c] == votes[best] && score[c] > score[best]) {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictAll predicts every row.
+func (m *Model) PredictAll(x [][]int32) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// NumSupportVectors returns the total support-vector count across all
+// binary subproblems (a model-complexity diagnostic).
+func (m *Model) NumSupportVectors() int {
+	n := 0
+	for _, bm := range m.pairs {
+		n += len(bm.svX)
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Platt scaling: fit a sigmoid P(y=1|f) = 1/(1+exp(A·f+B)) over the
+// decision values of a trained binary SVM, following the numerically
+// robust Newton implementation of Lin, Lin & Weng (2007). Multi-class
+// probabilities are obtained by averaging the pairwise probabilities,
+// a simple and stable alternative to full pairwise coupling.
+
+// plattParams holds the fitted sigmoid.
+type plattParams struct {
+	a, b float64
+}
+
+// sigmoidPredict evaluates P(y=+1 | decision f) without overflow.
+func (p plattParams) sigmoidPredict(f float64) float64 {
+	fApB := p.a*f + p.b
+	if fApB >= 0 {
+		return math.Exp(-fApB) / (1 + math.Exp(-fApB))
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// fitPlatt fits sigmoid parameters on decision values f with targets
+// y ∈ {+1, −1}.
+func fitPlatt(f []float64, y []float64) plattParams {
+	n := len(f)
+	prior1, prior0 := 0.0, 0.0
+	for _, v := range y {
+		if v > 0 {
+			prior1++
+		} else {
+			prior0++
+		}
+	}
+	hiTarget := (prior1 + 1) / (prior1 + 2)
+	loTarget := 1 / (prior0 + 2)
+	t := make([]float64, n)
+	for i := range f {
+		if y[i] > 0 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+
+	a := 0.0
+	b := math.Log((prior0 + 1) / (prior1 + 1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := f[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		h11, h22 := sigma, sigma
+		h21, g1, g2 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			fApB := f[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				p = math.Exp(-fApB) / (1 + math.Exp(-fApB))
+				q = 1 / (1 + math.Exp(-fApB))
+			} else {
+				p = 1 / (1 + math.Exp(fApB))
+				q = math.Exp(fApB) / (1 + math.Exp(fApB))
+			}
+			d2 := p * q
+			h11 += f[i] * f[i] * d2
+			h22 += d2
+			h21 += f[i] * d2
+			d1 := t[i] - p
+			g1 += f[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := 0.0
+			for i := 0; i < n; i++ {
+				fApB := f[i]*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return plattParams{a: a, b: b}
+}
+
+// CalibrateProbabilities fits Platt sigmoids on every binary
+// subproblem's training decision values so PredictProb can be used.
+// Call after Train with the same training data. (A held-out or
+// cross-validated fit would be less biased; the training-value fit is
+// the lightweight variant and adequate for ranking-style uses.)
+func (m *Model) CalibrateProbabilities(x [][]int32, y []int) error {
+	if m.singleClass >= 0 {
+		return nil
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("svm: %d rows, %d labels", len(x), len(y))
+	}
+	m.platt = make([]plattParams, len(m.pairs))
+	for k, bm := range m.pairs {
+		a, b := m.pairClass[k][0], m.pairClass[k][1]
+		var fs, ts []float64
+		for i, row := range x {
+			switch y[i] {
+			case a:
+				fs = append(fs, bm.decision(row))
+				ts = append(ts, 1)
+			case b:
+				fs = append(fs, bm.decision(row))
+				ts = append(ts, -1)
+			}
+		}
+		if len(fs) == 0 {
+			m.platt[k] = plattParams{a: -1, b: 0}
+			continue
+		}
+		m.platt[k] = fitPlatt(fs, ts)
+	}
+	return nil
+}
+
+// PredictProb returns per-class probability estimates for a row,
+// averaging the calibrated pairwise probabilities. It returns an error
+// if CalibrateProbabilities has not run.
+func (m *Model) PredictProb(x []int32) ([]float64, error) {
+	probs := make([]float64, m.numClasses)
+	if m.singleClass >= 0 {
+		probs[m.singleClass] = 1
+		return probs, nil
+	}
+	if m.platt == nil {
+		return nil, fmt.Errorf("svm: PredictProb before CalibrateProbabilities")
+	}
+	counts := make([]int, m.numClasses)
+	for k, bm := range m.pairs {
+		p := m.platt[k].sigmoidPredict(bm.decision(x))
+		a, b := m.pairClass[k][0], m.pairClass[k][1]
+		probs[a] += p
+		probs[b] += 1 - p
+		counts[a]++
+		counts[b]++
+	}
+	total := 0.0
+	for c := range probs {
+		if counts[c] > 0 {
+			probs[c] /= float64(counts[c])
+		}
+		total += probs[c]
+	}
+	if total > 0 {
+		for c := range probs {
+			probs[c] /= total
+		}
+	}
+	return probs, nil
+}

@@ -1,0 +1,108 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitPlattSeparated(t *testing.T) {
+	// Positive decisions for +1, negative for −1: the sigmoid must map
+	// large positive f to high probability.
+	f := []float64{2, 1.5, 1.8, -2, -1.5, -1.7}
+	y := []float64{1, 1, 1, -1, -1, -1}
+	p := fitPlatt(f, y)
+	if got := p.sigmoidPredict(2); got < 0.7 {
+		t.Fatalf("P(+|f=2) = %v, want high", got)
+	}
+	if got := p.sigmoidPredict(-2); got > 0.3 {
+		t.Fatalf("P(+|f=-2) = %v, want low", got)
+	}
+	// Monotone in f (A < 0 convention).
+	if p.sigmoidPredict(1) <= p.sigmoidPredict(-1) {
+		t.Fatal("sigmoid not increasing in decision value")
+	}
+}
+
+func TestCalibrateAndPredictProb(t *testing.T) {
+	x, y := sep2D(60)
+	m, err := Train(x, y, 2, Config{C: 1, NumFeatures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictProb([]int32{0}); err == nil {
+		t.Fatal("PredictProb before calibration should error")
+	}
+	if err := m.CalibrateProbabilities(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := m.PredictProb([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := m.PredictProb([]int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0) != 2 {
+		t.Fatalf("prob vector length %d", len(p0))
+	}
+	if math.Abs(p0[0]+p0[1]-1) > 1e-9 {
+		t.Fatalf("probabilities do not sum to 1: %v", p0)
+	}
+	if p0[0] <= 0.5 || p1[1] <= 0.5 {
+		t.Fatalf("probabilities inconsistent with labels: %v %v", p0, p1)
+	}
+}
+
+func TestPredictProbMulticlass(t *testing.T) {
+	var x [][]int32
+	var y []int
+	for i := 0; i < 30; i++ {
+		c := i % 3
+		x = append(x, []int32{int32(c)})
+		y = append(y, c)
+	}
+	m, err := Train(x, y, 3, Config{NumFeatures: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CalibrateProbabilities(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		probs, err := m.PredictProb([]int32{int32(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for i := range probs {
+			if probs[i] > probs[best] {
+				best = i
+			}
+		}
+		if best != c {
+			t.Fatalf("class %d: probs %v argmax %d", c, probs, best)
+		}
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probs sum %v", sum)
+		}
+	}
+}
+
+func TestPredictProbDegenerateSingleClass(t *testing.T) {
+	m, err := Train([][]int32{{0}}, []int{1}, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := m.PredictProb([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[1] != 1 {
+		t.Fatalf("degenerate probs = %v", probs)
+	}
+}

@@ -1,0 +1,87 @@
+package svm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// modelSnapshot is the gob-encodable form of a trained Model.
+type modelSnapshot struct {
+	NumClasses  int
+	PairClass   [][2]int
+	SingleClass int
+	Pairs       []binarySnapshot
+	Platt       []plattSnapshot
+	HasPlatt    bool
+}
+
+type binarySnapshot struct {
+	SVX    [][]int32
+	SVCoef []float64
+	Bias   float64
+	Kernel Kernel
+	Gamma  float64
+}
+
+type plattSnapshot struct {
+	A, B float64
+}
+
+// MarshalBinary encodes the trained model (encoding.BinaryMarshaler).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	snap := modelSnapshot{
+		NumClasses:  m.numClasses,
+		PairClass:   m.pairClass,
+		SingleClass: m.singleClass,
+		HasPlatt:    m.platt != nil,
+	}
+	for _, bm := range m.pairs {
+		snap.Pairs = append(snap.Pairs, binarySnapshot{
+			SVX:    bm.svX,
+			SVCoef: bm.svCoef,
+			Bias:   bm.bias,
+			Kernel: bm.kernel,
+			Gamma:  bm.gamma,
+		})
+	}
+	for _, p := range m.platt {
+		snap.Platt = append(snap.Platt, plattSnapshot{A: p.a, B: p.b})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("svm: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model encoded by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("svm: unmarshal: %w", err)
+	}
+	if snap.NumClasses < 1 {
+		return fmt.Errorf("svm: unmarshal: bad class count %d", snap.NumClasses)
+	}
+	m.numClasses = snap.NumClasses
+	m.pairClass = snap.PairClass
+	m.singleClass = snap.SingleClass
+	m.pairs = nil
+	for _, bs := range snap.Pairs {
+		m.pairs = append(m.pairs, &binaryModel{
+			svX:    bs.SVX,
+			svCoef: bs.SVCoef,
+			bias:   bs.Bias,
+			kernel: bs.Kernel,
+			gamma:  bs.Gamma,
+		})
+	}
+	m.platt = nil
+	if snap.HasPlatt {
+		for _, p := range snap.Platt {
+			m.platt = append(m.platt, plattParams{a: p.A, b: p.B})
+		}
+	}
+	return nil
+}
