@@ -305,6 +305,44 @@ func BenchmarkEndToEndPatFS(b *testing.B) {
 	}
 }
 
+// BenchmarkFitInstrumentationOff is the no-observer baseline for the
+// observability layer: it must match BenchmarkEndToEndPatFS, since a
+// nil observer reduces every span/counter call to a nil check.
+// Compare with BenchmarkFitInstrumentationOn to see the recording cost.
+func BenchmarkFitInstrumentationOff(b *testing.B) {
+	benchFitObserved(b, nil)
+}
+
+// BenchmarkFitInstrumentationOn measures the same fit with a live
+// observer recording spans and counters.
+func BenchmarkFitInstrumentationOn(b *testing.B) {
+	benchFitObserved(b, NewObserver())
+}
+
+func benchFitObserved(b *testing.B, o *Observer) {
+	d, err := Generate("heart", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o != nil {
+			o.Reset()
+		}
+		clf := NewClassifier(PatFS, SVM, WithMinSupport(0.15), WithObserver(o))
+		if err := clf.Fit(d, rows); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := clf.Predict(d, rows[:50]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Extension benchmarks: the paper's future-work directions (sequence
 // and graph classification) end-to-end.
 

@@ -26,6 +26,7 @@ import (
 	"dfpc/internal/discretize"
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
+	"dfpc/internal/obs"
 )
 
 func main() {
@@ -40,35 +41,66 @@ func main() {
 		maxLen   = flag.Int("maxlen", 5, "maximum pattern length")
 		top      = flag.Int("top", 30, "print the top-N patterns by information gain")
 		sortBy   = flag.String("sort", "ig", "ranking: ig, fisher, or support")
+		verbose  = flag.Bool("verbose", false, "print a stage-timing tree and mining counters to stderr")
+		reportTo = flag.String("report", "", "write a JSON RunReport of the mining run here")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	d, err := load(*dataPath, *arffPath, *lucsPath, *bundled, *seed)
+	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dfpc-mine:", err)
 		os.Exit(1)
+	}
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"dfpc-mine:"}, args...)...)
+		stopProf()
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc-mine: profiling:", err)
+		}
+	}()
+
+	var o *obs.Observer
+	if *verbose || *reportTo != "" {
+		o = obs.New()
 	}
 
-	cat, err := discretize.FitApply(d, discretize.Options{})
+	sp := o.Start("load")
+	d, err := load(*dataPath, *arffPath, *lucsPath, *bundled, *seed)
+	sp.End()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc-mine:", err)
-		os.Exit(1)
+		fail(err)
 	}
+
+	sp = o.Start("discretize").Attr("rows", d.NumRows())
+	cat, err := discretize.FitApply(d, discretize.Options{})
+	sp.End()
+	if err != nil {
+		fail(err)
+	}
+	sp = o.Start("encode")
 	b, err := dataset.Encode(cat)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc-mine:", err)
-		os.Exit(1)
+		sp.End()
+		fail(err)
 	}
+	sp.Attr("items", b.NumItems()).End()
+	sp = o.Start("mine").Attr("min_sup", *minSup).Attr("closed", *closed)
 	ps, err := mining.MinePerClass(b, mining.PerClassOptions{
 		MinSupport:  *minSup,
 		Closed:      *closed,
 		MaxLen:      *maxLen,
 		MaxPatterns: 2_000_000,
 		MinLen:      2,
+		Obs:         o,
 	})
+	sp.Attr("patterns", len(ps)).End()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc-mine:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	n := b.NumRows()
@@ -77,6 +109,7 @@ func main() {
 		p      mining.Pattern
 		ig, fr float64
 	}
+	sp = o.Start("score").Attr("patterns", len(ps))
 	rows := make([]scored, len(ps))
 	for i, p := range ps {
 		cover := b.Cover(p.Items)
@@ -86,6 +119,7 @@ func main() {
 			fr: measures.FisherScore(cover, b.ClassMasks),
 		}
 	}
+	sp.End()
 	sort.Slice(rows, func(i, j int) bool {
 		switch *sortBy {
 		case "fisher":
@@ -116,6 +150,28 @@ func main() {
 		}
 		fmt.Printf("%7d %7.3f %8.4f %s %8.4f  %s\n",
 			r.p.Support, theta, r.ig, fisher, curve(r.p.Support), strings.Join(names, " ∧ "))
+	}
+
+	if o != nil {
+		rep := o.Report(d.Name)
+		if *verbose {
+			fmt.Fprintln(os.Stderr)
+			rep.WriteTree(os.Stderr)
+		}
+		if *reportTo != "" {
+			f, err := os.Create(*reportTo)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+		}
 	}
 }
 

@@ -19,8 +19,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dfpc"
+	"dfpc/internal/obs"
 )
 
 func main() {
@@ -41,8 +43,29 @@ func main() {
 		explain   = flag.Int("explain", 0, "print the top-N selected patterns with their measures")
 		saveTo    = flag.String("save", "", "after evaluation, train on the full dataset and save the model here")
 		loadFrom  = flag.String("load", "", "load a saved model and predict the dataset (no training)")
+		verbose   = flag.Bool("verbose", false, "print per-fold progress and a stage-timing tree")
+		reportTo  = flag.String("report", "", "write a JSON RunReport of the evaluation here")
 	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers, so every exit path below funnels through fail.
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"dfpc:"}, args...)...)
+		stopProf()
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dfpc: profiling:", err)
+		}
+	}()
 
 	if *list {
 		for _, n := range dfpc.DatasetNames() {
@@ -53,22 +76,19 @@ func main() {
 
 	d, err := loadData(*dataPath, *bundled, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *loadFrom != "" {
 		if err := predictOnly(*loadFrom, d); err != nil {
-			fmt.Fprintln(os.Stderr, "dfpc:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
 
 	fam, err := parseFamily(*family)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	lrn := dfpc.SVM
 	switch strings.ToLower(*learner) {
@@ -98,10 +118,21 @@ func main() {
 	}
 
 	clf := dfpc.NewClassifier(fam, lrn, opts...)
-	res, err := dfpc.CrossValidate(clf, d, *folds, *seed)
+
+	var o *dfpc.Observer
+	if *verbose || *reportTo != "" {
+		o = dfpc.NewObserver()
+	}
+	var progress dfpc.ProgressFunc
+	if *verbose {
+		progress = func(fold, total int, elapsed time.Duration, acc float64) {
+			fmt.Fprintf(os.Stderr, "fold %d/%d done in %v (accuracy %.2f%%)\n",
+				fold, total, elapsed.Round(time.Millisecond), 100*acc)
+		}
+	}
+	res, err := dfpc.CrossValidateObserved(clf, d, *folds, *seed, o, progress)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfpc:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	fmt.Printf("dataset     %s (%d rows, %d attrs, %d classes)\n",
@@ -116,24 +147,42 @@ func main() {
 	if *explain > 0 {
 		printExplanation(clf, *explain)
 	}
+	if o != nil {
+		rep := o.Report(d.Name)
+		if *verbose {
+			fmt.Println()
+			rep.WriteTree(os.Stdout)
+		}
+		if *reportTo != "" {
+			f, err := os.Create(*reportTo)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+		}
+	}
 	if *saveTo != "" {
 		rows := make([]int, d.NumRows())
 		for i := range rows {
 			rows[i] = i
 		}
 		if err := clf.Fit(d, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "dfpc: final fit:", err)
-			os.Exit(1)
+			fail("final fit:", err)
 		}
 		f, err := os.Create(*saveTo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dfpc:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		if err := dfpc.SaveModel(f, clf); err != nil {
-			fmt.Fprintln(os.Stderr, "dfpc:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("model saved to %s\n", *saveTo)
 	}

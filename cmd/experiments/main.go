@@ -15,14 +15,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"dfpc"
 	"dfpc/internal/datagen"
 	"dfpc/internal/experiments"
+	"dfpc/internal/obs"
 )
 
 func main() {
@@ -33,13 +36,43 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced fidelity: 3 folds, subsampled dense sets")
 	folds := flag.Int("folds", 0, "cross-validation folds (default 10, or 3 with -quick)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	verbose := flag.Bool("verbose", false, "print a stage-timing tree after the run")
+	reportTo := flag.String("report", "", "write a JSON RunReport of the run here")
+	benchJSON := flag.String("benchjson", "", "run the instrumented pipeline benchmark and write per-stage reports here (e.g. BENCH_pipeline.json)")
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"experiments:"}, args...)...)
+		stopProf()
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profiling:", err)
+		}
+	}()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	cfg := runConfig{folds: *folds, quick: *quick, csvDir: *csvDir}
+	if *verbose || *reportTo != "" {
+		cfg.obs = obs.New()
+	}
 	if cfg.csvDir != "" {
 		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	if cfg.folds == 0 {
@@ -50,7 +83,6 @@ func main() {
 	}
 
 	start := time.Now()
-	var err error
 	switch {
 	case *all:
 		err = runAll(cfg)
@@ -62,11 +94,32 @@ func main() {
 		err = runAblations(cfg)
 	default:
 		flag.Usage()
+		stopProf()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if cfg.obs != nil {
+		rep := cfg.obs.Report("experiments")
+		if *verbose {
+			fmt.Println()
+			rep.WriteTree(os.Stdout)
+		}
+		if *reportTo != "" {
+			f, err := os.Create(*reportTo)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+		}
 	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -75,6 +128,58 @@ type runConfig struct {
 	folds  int
 	quick  bool
 	csvDir string
+	obs    *obs.Observer // nil unless -verbose or -report
+}
+
+// benchDatasets are the generated datasets profiled by -benchjson,
+// chosen to cover a small, a medium, and a pattern-dense input.
+var benchDatasets = []string{"austral", "breast", "heart"}
+
+// runBenchJSON fits the full Pat_FS+SVM pipeline once per benchmark
+// dataset with an observer installed and writes the per-stage reports
+// (one RunReport per dataset) as a single JSON document. The output
+// seeds the repo's performance trajectory: future optimisation PRs
+// diff their BENCH_pipeline.json against the committed one.
+func runBenchJSON(path string) error {
+	type doc struct {
+		Benchmark string            `json:"benchmark"`
+		Folds     int               `json:"folds"`
+		MinSup    float64           `json:"min_sup"`
+		Runs      []*dfpc.RunReport `json:"runs"`
+	}
+	const minSup = 0.15
+	out := doc{Benchmark: "pipeline-stages", Folds: 3, MinSup: minSup}
+	for _, name := range benchDatasets {
+		d, err := dfpc.Generate(name, 1)
+		if err != nil {
+			return err
+		}
+		o := dfpc.NewObserver()
+		clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM, dfpc.WithMinSupport(minSup))
+		res, err := dfpc.CrossValidateObserved(clf, d, out.Folds, 1, o, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep := o.Report(name)
+		out.Runs = append(out.Runs, rep)
+		fmt.Printf("%-10s accuracy %.2f%% ± %.2f  wall %v\n",
+			name, 100*res.Mean, 100*res.Std, time.Duration(rep.WallNS).Round(time.Millisecond))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("per-stage benchmark written to %s\n", path)
+	return nil
 }
 
 // emitCSV writes one result file when -csv is set.
@@ -107,6 +212,8 @@ func runAll(cfg runConfig) error {
 }
 
 func runTable(cfg runConfig, table string) error {
+	sp := cfg.obs.Start("table").Attr("table", table).Attr("folds", cfg.folds)
+	defer sp.End()
 	proto := experiments.Protocol{Folds: cfg.folds}
 	switch table {
 	case "1":
@@ -202,6 +309,8 @@ func scalabilityTitle(table string) string {
 }
 
 func runFigure(cfg runConfig, figure string) error {
+	sp := cfg.obs.Start("figure").Attr("figure", figure)
+	defer sp.End()
 	trio := []string{"austral", "breast", "sonar"}
 	switch figure {
 	case "1":
@@ -279,7 +388,9 @@ func runAblations(cfg runConfig) error {
 			}},
 	}
 	for i, s := range studies {
+		sp := cfg.obs.Start("ablation").Attr("study", s.file)
 		rows, err := s.run()
+		sp.End()
 		if err != nil {
 			return err
 		}

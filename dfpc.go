@@ -29,6 +29,7 @@ import (
 	"dfpc/internal/eval"
 	"dfpc/internal/featsel"
 	"dfpc/internal/measures"
+	"dfpc/internal/obs"
 )
 
 // Dataset is a labelled tabular dataset (categorical and/or numeric
@@ -215,6 +216,33 @@ func WithProbability() Option {
 // then Predict other rows.
 type Classifier = core.Pipeline
 
+// Observer records a pipeline run: nestable stage spans (wall time,
+// allocation deltas, attributes) plus pipeline counters and gauges —
+// items mapped, FP-tree nodes built, patterns mined and pruned, MMRFS
+// iterations and coverage residual, SMO iterations, tree size, per-fold
+// timings. A nil *Observer is valid everywhere and disables recording
+// at zero cost.
+type Observer = obs.Observer
+
+// RunReport is the machine-readable summary of an observed run; it
+// JSON round-trips losslessly and renders as a human-readable tree or
+// CSV (WriteTree/WriteJSON/WriteCSV).
+type RunReport = obs.RunReport
+
+// ProgressFunc is notified after each completed cross-validation fold.
+type ProgressFunc = eval.ProgressFunc
+
+// NewObserver returns an enabled observer. Install it on a classifier
+// with WithObserver (or Classifier.SetObserver) and snapshot results
+// with Observer.Report.
+func NewObserver() *Observer { return obs.New() }
+
+// WithObserver installs an observer that records the pipeline's stage
+// spans and counters during Fit and Predict.
+func WithObserver(o *Observer) Option {
+	return func(c *core.Config) { c.Obs = o }
+}
+
 // NewClassifier builds a classifier of the given family and learner.
 func NewClassifier(f Family, l Learner, opts ...Option) *Classifier {
 	cfg := core.Config{}
@@ -278,6 +306,16 @@ func DatasetNames() []string { return datagen.Names() }
 // protocol uses k = 10).
 func CrossValidate(c *Classifier, d *Dataset, k int, seed int64) (*CVResult, error) {
 	return eval.CrossValidate(c, d, k, seed)
+}
+
+// CrossValidateObserved is CrossValidate with observability: the
+// observer is installed on the classifier (so every fold's fit/predict
+// stages nest under per-fold spans) and progress, when non-nil, is
+// called after each fold — long runs can report "fold 3/10 done in
+// 1.2s". Snapshot the result with o.Report.
+func CrossValidateObserved(c *Classifier, d *Dataset, k int, seed int64, o *Observer, progress ProgressFunc) (*CVResult, error) {
+	c.SetObserver(o)
+	return eval.CrossValidateOpt(c, d, k, seed, eval.CVOptions{Obs: o, Progress: progress})
 }
 
 // Compare runs a two-sided paired t-test over the fold accuracies of

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"dfpc/internal/obs"
 )
 
 // Config configures tree induction.
@@ -21,6 +23,9 @@ type Config struct {
 	Confidence float64
 	// MaxDepth optionally caps tree depth; 0 means unbounded.
 	MaxDepth int
+	// Obs, when non-nil, records node-count and depth metrics per Train
+	// call. Nil disables recording.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +82,12 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 	if cfg.Confidence > 0 {
 		prune(root, cfg.Confidence)
 	}
-	return &Model{root: root, numClasses: numClasses}, nil
+	m := &Model{root: root, numClasses: numClasses}
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("c45.nodes").Add(int64(m.Size()))
+		cfg.Obs.Gauge("c45.depth").Set(float64(m.Depth()))
+	}
+	return m, nil
 }
 
 type builder struct {

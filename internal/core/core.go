@@ -19,6 +19,7 @@ import (
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
 	"dfpc/internal/nbayes"
+	"dfpc/internal/obs"
 	"dfpc/internal/svm"
 )
 
@@ -112,6 +113,12 @@ type Config struct {
 	// Disc configures discretization of numeric attributes (default
 	// entropy-MDL).
 	Disc discretize.Options
+
+	// Obs, when non-nil, receives stage spans and pipeline counters for
+	// every Fit/Predict call (see internal/obs). Nil — the default —
+	// disables instrumentation at zero cost. Observers are never
+	// serialized with saved models.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -270,21 +277,38 @@ func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
 	if len(rows) == 0 {
 		return errors.New("core: empty training set")
 	}
+	o := p.cfg.Obs
+	fit := o.Start("fit").Attr("rows", len(rows)).Attr("learner", p.cfg.Learner)
+	defer fit.End()
 	train := d.Subset(rows)
 
+	sp := o.Start("discretize")
 	var err error
 	p.disc, err = discretize.Fit(train, p.cfg.Disc)
 	if err != nil {
+		sp.End()
 		return fmt.Errorf("core: discretize: %w", err)
 	}
 	cat, err := p.disc.Apply(train)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("core: discretize apply: %w", err)
 	}
+	sp = o.Start("encode")
 	b, err := dataset.Encode(cat)
 	if err != nil {
+		sp.End()
 		return fmt.Errorf("core: encode: %w", err)
 	}
+	if o.Enabled() {
+		mapped := 0
+		for _, r := range b.Rows {
+			mapped += len(r)
+		}
+		o.Counter("encode.items_mapped").Add(int64(mapped))
+		sp.Attr("items", b.NumItems()).Attr("rows", b.NumRows())
+	}
+	sp.End()
 	p.space = b.Space
 	p.numItems = b.NumItems()
 	p.patterns = nil
@@ -305,18 +329,41 @@ func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
 	p.buildReport(b)
 
 	if len(p.cfg.CGrid) > 0 && (p.cfg.Learner == SVMLinear || p.cfg.Learner == SVMRBF) {
+		ms := o.Start("model-select").Attr("grid", len(p.cfg.CGrid))
 		c, err := p.selectSVMC(d, rows)
 		if err != nil {
+			ms.End()
 			return fmt.Errorf("core: model selection: %w", err)
 		}
+		ms.Attr("C", c).End()
+		o.Gauge("core.selected_c").Set(c)
 		p.Stats.SelectedC = c
 	}
 
+	sp = o.Start("featurize").Attr("rows", b.NumRows())
 	x := make([][]int32, b.NumRows())
 	for i := range x {
 		x[i] = p.featureVector(b.Rows[i])
 	}
-	return p.learn(x, b.Labels, b.NumClasses())
+	if o.Enabled() {
+		// Pattern-feature IDs sit above the item space, sorted to the
+		// tail of each row; count how many pattern features matched.
+		hits := 0
+		lim := int32(p.numItems)
+		for _, row := range x {
+			for j := len(row) - 1; j >= 0 && row[j] >= lim; j-- {
+				hits++
+			}
+		}
+		o.Counter("featurize.pattern_hits").Add(int64(hits))
+	}
+	sp.End()
+
+	ls := o.Start("learn").Attr("learner", p.cfg.Learner).
+		Attr("features", p.numItems+len(p.patterns))
+	err = p.learn(x, b.Labels, b.NumClasses())
+	ls.End()
+	return err
 }
 
 // buildReport records the interpretability report for the selected
@@ -367,6 +414,15 @@ func (p *Pipeline) Explain() []FeatureReport {
 	return p.report
 }
 
+// SetObserver installs (or, with nil, removes) the observer that
+// receives this pipeline's stage spans and counters. Equivalent to
+// configuring Config.Obs at construction time.
+func (p *Pipeline) SetObserver(o *obs.Observer) { p.cfg.Obs = o }
+
+// Observer returns the currently installed observer (nil when
+// instrumentation is off).
+func (p *Pipeline) Observer() *obs.Observer { return p.cfg.Obs }
+
 // selectSVMC runs a small inner cross-validation over cfg.CGrid on the
 // training rows and returns the best C, which it also installs in the
 // pipeline's configuration for the final fit.
@@ -388,6 +444,9 @@ func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
 		cfg := p.cfg
 		cfg.CGrid = nil
 		cfg.SVMC = c
+		// Inner CV fits are bookkeeping, not pipeline stages: detach the
+		// observer so they neither nest spans nor double-count counters.
+		cfg.Obs = nil
 		inner := &Pipeline{cfg: cfg}
 		correct, total := 0, 0
 		for f := range folds {
@@ -426,6 +485,9 @@ func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
 
 // selectItems runs MMRFS over the single items (Item_FS).
 func (p *Pipeline) selectItems(b *dataset.Binary) error {
+	o := p.cfg.Obs
+	sp := o.Start("select-items").Attr("items", b.NumItems())
+	defer sp.End()
 	cands := make([]featsel.Candidate, b.NumItems())
 	for i := range cands {
 		cands[i] = featsel.Candidate{Items: []int32{int32(i)}, Cover: b.Columns[i]}
@@ -433,6 +495,7 @@ func (p *Pipeline) selectItems(b *dataset.Binary) error {
 	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
 		Relevance: p.cfg.Relevance,
 		Coverage:  p.cfg.Coverage,
+		Obs:       o,
 	})
 	if err != nil {
 		return fmt.Errorf("core: item MMRFS: %w", err)
@@ -443,34 +506,47 @@ func (p *Pipeline) selectItems(b *dataset.Binary) error {
 	}
 	p.Stats.MinedCount = b.NumItems()
 	p.Stats.FeatureCount = len(res.Selected)
+	o.Counter("core.features_selected").Add(int64(len(res.Selected)))
 	return nil
 }
 
 // generatePatterns mines closed patterns per class and, for Pat_FS,
 // applies MMRFS.
 func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
+	o := p.cfg.Obs
+	sp := o.Start("mine")
+	rs := o.Start("resolve-minsup")
 	minSup, err := p.resolveMinSupport(b)
+	rs.End()
 	if err != nil {
+		sp.End()
 		return err
 	}
 	p.Stats.MinSupport = minSup
+	o.Gauge("core.min_sup").Set(minSup)
+	sp.Attr("min_sup", minSup)
 	mined, err := mining.MinePerClass(b, mining.PerClassOptions{
 		MinSupport:  minSup,
 		Closed:      true,
 		MaxPatterns: p.cfg.MaxPatterns,
 		MaxLen:      p.cfg.MaxPatternLen,
 		MinLen:      2, // single items are already in the space
+		Obs:         o,
 	})
+	sp.Attr("patterns", len(mined)).End()
 	if err != nil {
 		return fmt.Errorf("core: mining at min_sup=%v: %w", minSup, err)
 	}
 	p.Stats.MinedCount = len(mined)
+	o.Counter("core.patterns_mined").Add(int64(len(mined)))
 
 	if !p.cfg.SelectPatterns {
 		p.patterns = mined
 		p.Stats.FeatureCount = len(mined)
+		o.Counter("core.features_selected").Add(int64(len(mined)))
 		return nil
 	}
+	sp = o.Start("select").Attr("candidates", len(mined))
 	cands := make([]featsel.Candidate, len(mined))
 	for i, pt := range mined {
 		cands[i] = featsel.Candidate{Items: pt.Items, Cover: b.Cover(pt.Items)}
@@ -478,8 +554,10 @@ func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
 	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
 		Relevance: p.cfg.Relevance,
 		Coverage:  p.cfg.Coverage,
+		Obs:       o,
 	})
 	if err != nil {
+		sp.End()
 		return fmt.Errorf("core: pattern MMRFS: %w", err)
 	}
 	p.patterns = make([]mining.Pattern, len(res.Selected))
@@ -490,6 +568,8 @@ func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
 	// rather than selection order.
 	mining.SortPatterns(p.patterns)
 	p.Stats.FeatureCount = len(p.patterns)
+	o.Counter("core.features_selected").Add(int64(len(p.patterns)))
+	sp.Attr("selected", len(p.patterns)).End()
 	return nil
 }
 
@@ -570,7 +650,9 @@ func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
 	)
 	switch p.cfg.Learner {
 	case C45Tree:
-		m, err = c45.Train(x, y, numClasses, p.cfg.Tree)
+		tree := p.cfg.Tree
+		tree.Obs = p.cfg.Obs
+		m, err = c45.Train(x, y, numClasses, tree)
 	case NaiveBayes:
 		m, err = nbayes.Train(x, y, numClasses, numFeatures, nbayes.Config{})
 	case KNN:
@@ -580,11 +662,13 @@ func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
 			C:           p.cfg.SVMC,
 			Kernel:      svm.Kernel{Type: svm.RBF, Gamma: p.cfg.RBFGamma},
 			NumFeatures: numFeatures,
+			Obs:         p.cfg.Obs,
 		})
 	default:
 		m, err = svm.Train(x, y, numClasses, svm.Config{
 			C:           p.cfg.SVMC,
 			NumFeatures: numFeatures,
+			Obs:         p.cfg.Obs,
 		})
 	}
 	if err != nil {
@@ -606,6 +690,8 @@ func (p *Pipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
 	if p.model == nil {
 		return nil, errors.New("core: Predict before Fit")
 	}
+	sp := p.cfg.Obs.Start("predict").Attr("rows", len(rows))
+	defer sp.End()
 	test := d.Subset(rows)
 	cat, err := p.disc.Apply(test)
 	if err != nil {

@@ -49,6 +49,9 @@ func (p *Pipeline) Save(w io.Writer) error {
 		Stats:    p.Stats,
 		Learner:  p.cfg.Learner,
 	}
+	// Observers are per-process recorders, not model state.
+	snap.Config.Obs = nil
+	snap.Config.Tree.Obs = nil
 	var err error
 	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/obs"
 )
 
 // Pipeline abstracts one classification pipeline: fit on training rows
@@ -66,11 +67,32 @@ type CVResult struct {
 	TestTime       time.Duration
 }
 
+// ProgressFunc is notified after each completed cross-validation fold:
+// fold is 1-based, total is the fold count, elapsed covers the fold's
+// fit plus predict, and accuracy is the fold's test accuracy. Long CV
+// runs use it to report liveness ("fold 3/10 done in 1.2s").
+type ProgressFunc func(fold, total int, elapsed time.Duration, accuracy float64)
+
+// CVOptions carries the optional observability hooks of a CV run.
+type CVOptions struct {
+	// Obs, when non-nil, records one span per fold. Pass the same
+	// observer installed on the pipeline (core.Config.Obs) so the
+	// pipeline's fit/predict spans nest under the fold spans.
+	Obs *obs.Observer
+	// Progress, when non-nil, is called after every fold.
+	Progress ProgressFunc
+}
+
 // CrossValidate runs stratified k-fold cross validation of the pipeline
 // on the dataset (the paper's protocol: "Each dataset is partitioned
 // into ten parts evenly. Each time, one part is used for test and the
 // other nine are used for training").
 func CrossValidate(p Pipeline, d *dataset.Dataset, k int, seed int64) (*CVResult, error) {
+	return CrossValidateOpt(p, d, k, seed, CVOptions{})
+}
+
+// CrossValidateOpt is CrossValidate with per-fold observability.
+func CrossValidateOpt(p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVOptions) (*CVResult, error) {
 	folds, err := dataset.StratifiedKFold(d.Labels, d.NumClasses(), k, seed)
 	if err != nil {
 		return nil, err
@@ -78,14 +100,19 @@ func CrossValidate(p Pipeline, d *dataset.Dataset, k int, seed int64) (*CVResult
 	res := &CVResult{}
 	for f := range folds {
 		train, test := dataset.TrainTestFromFolds(folds, f)
+		sp := opt.Obs.Start("cv-fold").
+			Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
+		foldStart := time.Now()
 		t0 := time.Now()
 		if err := p.Fit(d, train); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
 		}
 		res.TrainTime += time.Since(t0)
 		t0 = time.Now()
 		pred, err := p.Predict(d, test)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("eval: fold %d predict: %w", f, err)
 		}
 		res.TestTime += time.Since(t0)
@@ -95,9 +122,14 @@ func CrossValidate(p Pipeline, d *dataset.Dataset, k int, seed int64) (*CVResult
 		}
 		acc, err := Accuracy(pred, truth)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.Attr("accuracy", fmt.Sprintf("%.4f", acc)).End()
 		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+		if opt.Progress != nil {
+			opt.Progress(f+1, len(folds), time.Since(foldStart), acc)
+		}
 	}
 	res.Mean, res.Std = meanStd(res.FoldAccuracies)
 	return res, nil

@@ -13,6 +13,7 @@ import (
 
 	"dfpc/internal/bitset"
 	"dfpc/internal/measures"
+	"dfpc/internal/obs"
 )
 
 // Relevance selects the relevance measure S(α) used by MMRFS
@@ -59,6 +60,9 @@ type Options struct {
 	// MaxFeatures optionally caps the number of selected features;
 	// 0 means unbounded (the coverage constraint decides).
 	MaxFeatures int
+	// Obs, when non-nil, records the MMRFS span, iteration/selection
+	// counters, and the final coverage residual. Nil disables recording.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -227,6 +231,12 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 		}
 	}
 
+	sp := opt.Obs.Start("mmrfs").
+		Attr("candidates", len(cands)).
+		Attr("coverable", coverable).
+		Attr("delta", opt.Coverage)
+	iterations := opt.Obs.Counter("mmrfs.iterations")
+	dropped := 0
 	for {
 		if opt.MaxFeatures > 0 && len(res.Selected) >= opt.MaxFeatures {
 			break
@@ -238,14 +248,22 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 		if i < 0 {
 			break // pool exhausted
 		}
+		iterations.Inc()
 		if correctlyCoversUncovered(i) {
 			add(i)
 		} else {
 			// Cannot contribute coverage: drop from the pool without
 			// selecting (Algorithm 1 line 7 removes β from F either way).
 			inSel[i] = true
+			dropped++
 		}
 	}
+	opt.Obs.Counter("mmrfs.selected").Add(int64(len(res.Selected)))
+	opt.Obs.Counter("mmrfs.dropped").Add(int64(dropped))
+	// Coverage residual: instances some candidate could correctly cover
+	// that still sit below δ when selection stops.
+	opt.Obs.Gauge("mmrfs.coverage_residual").Set(float64(coverable - fullyCovered))
+	sp.Attr("selected", len(res.Selected)).Attr("residual", coverable-fullyCovered).End()
 
 	// inSel was reused to mark dropped candidates; rebuild Selected-only
 	// marks are already in res.Selected, nothing to undo.

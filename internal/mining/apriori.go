@@ -12,6 +12,8 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 		return nil, err
 	}
 	var out []Pattern
+	candCounter := opt.Obs.Counter("mine.apriori_candidates")
+	emitted := opt.Obs.Counter("mine.patterns_emitted")
 
 	// Level 1: frequent single items.
 	counts := map[int32]int{}
@@ -25,6 +27,7 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 		if c >= opt.MinSupport {
 			level = append(level, []int32{it})
 			out = append(out, Pattern{Items: []int32{it}, Support: c})
+			emitted.Inc()
 		}
 	}
 	sortItemsets(level)
@@ -42,6 +45,7 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 		if len(cands) == 0 {
 			break
 		}
+		candCounter.Add(int64(len(cands)))
 		// Count candidate support with one pass over the transactions.
 		candCount := make([]int, len(cands))
 		for _, t := range tx {
@@ -59,6 +63,7 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 			if candCount[ci] >= opt.MinSupport {
 				next = append(next, cand)
 				out = append(out, Pattern{Items: cand, Support: candCount[ci]})
+				emitted.Inc()
 				if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
 					return out, ErrPatternBudget
 				}

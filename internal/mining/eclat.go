@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dfpc/internal/bitset"
+	"dfpc/internal/obs"
 )
 
 // Eclat mines all frequent itemsets with a vertical representation
@@ -51,7 +52,12 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 		}
 	}
 
-	m := &eclatMiner{opt: opt, dc: deadlineChecker{deadline: opt.Deadline}}
+	m := &eclatMiner{
+		opt:     opt,
+		dc:      deadlineChecker{deadline: opt.Deadline},
+		emitted: opt.Obs.Counter("mine.patterns_emitted"),
+		inters:  opt.Obs.Counter("mine.eclat_intersections"),
+	}
 	// Depth-first over prefix classes: extend each item with the items
 	// after it (ascending item order keeps patterns canonical).
 	type node struct {
@@ -73,6 +79,7 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 			for _, other := range class[i+1:] {
 				inter := nd.tids.Clone()
 				inter.And(other.tids)
+				m.inters.Inc()
 				if c := inter.Count(); c >= m.opt.MinSupport {
 					next = append(next, node{item: other.item, tids: inter, count: c})
 				}
@@ -97,6 +104,9 @@ type eclatMiner struct {
 	opt Options
 	out []Pattern
 	dc  deadlineChecker
+
+	emitted *obs.Counter
+	inters  *obs.Counter
 }
 
 func (m *eclatMiner) emit(items []int32, support int) error {
@@ -107,5 +117,6 @@ func (m *eclatMiner) emit(items []int32, support int) error {
 		return ErrDeadline
 	}
 	m.out = append(m.out, Pattern{Items: append([]int32(nil), items...), Support: support})
+	m.emitted.Inc()
 	return nil
 }

@@ -1,6 +1,10 @@
 package mining
 
-import "sort"
+import (
+	"sort"
+
+	"dfpc/internal/obs"
+)
 
 // FPClose mines the closed frequent itemsets: frequent itemsets with no
 // strict superset of equal support. This is the miner the paper's
@@ -36,8 +40,16 @@ func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
 	for i := range w {
 		w[i] = 1
 	}
-	m := &closeMiner{opt: opt, numItems: numItems, index: map[int][]itemMask{}, dc: deadlineChecker{deadline: opt.Deadline}}
-	tree := buildTree(tx, w, opt.MinSupport)
+	m := &closeMiner{
+		opt:      opt,
+		numItems: numItems,
+		index:    map[int][]itemMask{},
+		dc:       deadlineChecker{deadline: opt.Deadline},
+		nodes:    opt.Obs.Counter("mine.fptree_nodes"),
+		emitted:  opt.Obs.Counter("mine.patterns_emitted"),
+		subsumed: opt.Obs.Counter("mine.subsumption_pruned"),
+	}
+	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
 	return m.out, err
 }
@@ -48,11 +60,16 @@ type closeMiner struct {
 	index    map[int][]itemMask // support → masks of closed patterns found
 	out      []Pattern
 	dc       deadlineChecker
+
+	// metric hooks; all nil-safe no-ops when observability is off
+	nodes    *obs.Counter
+	emitted  *obs.Counter
+	subsumed *obs.Counter
 }
 
-// subsumed reports whether items (with the given support) is a subset of
-// an already-found closed pattern with the same support.
-func (m *closeMiner) subsumed(items []int32, support int) bool {
+// isSubsumed reports whether items (with the given support) is a subset
+// of an already-found closed pattern with the same support.
+func (m *closeMiner) isSubsumed(items []int32, support int) bool {
 	mask := maskOf(items, m.numItems)
 	for _, y := range m.index[support] {
 		if mask.subsetOf(y) {
@@ -75,6 +92,7 @@ func (m *closeMiner) emit(items []int32, support int) error {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	m.out = append(m.out, Pattern{Items: sorted, Support: support})
 	m.index[support] = append(m.index[support], maskOf(sorted, m.numItems))
+	m.emitted.Inc()
 	return nil
 }
 
@@ -110,9 +128,10 @@ func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
 		if m.opt.MaxLen > 0 && len(candidate) > m.opt.MaxLen {
 			continue
 		}
-		if m.subsumed(candidate, support) {
+		if m.isSubsumed(candidate, support) {
 			// Everything below this candidate closes into patterns
 			// already discovered from the subsuming branch.
+			m.subsumed.Inc()
 			continue
 		}
 		if err := m.emit(candidate, support); err != nil {
@@ -134,7 +153,7 @@ func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
 				condTx[i] = kept
 			}
 		}
-		condTree := buildTree(condTx, condW, m.opt.MinSupport)
+		condTree := buildTree(condTx, condW, m.opt.MinSupport, m.nodes)
 		if err := m.mine(condTree, candidate); err != nil {
 			return err
 		}
@@ -157,7 +176,8 @@ func (m *closeMiner) minePath(path []*fpNode, prefix []int32) error {
 			break
 		}
 		support := path[j].count
-		if m.subsumed(candidate, support) {
+		if m.isSubsumed(candidate, support) {
+			m.subsumed.Inc()
 			continue
 		}
 		if err := m.emit(candidate, support); err != nil {

@@ -1,6 +1,10 @@
 package mining
 
-import "sort"
+import (
+	"sort"
+
+	"dfpc/internal/obs"
+)
 
 // FPGrowth mines all frequent itemsets with absolute support ≥
 // opt.MinSupport from the transactions (Han, Pei & Yin, SIGMOD'00). It
@@ -15,8 +19,13 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 	for i := range w {
 		w[i] = 1
 	}
-	m := &growthMiner{opt: opt, dc: deadlineChecker{deadline: opt.Deadline}}
-	tree := buildTree(tx, w, opt.MinSupport)
+	m := &growthMiner{
+		opt:     opt,
+		dc:      deadlineChecker{deadline: opt.Deadline},
+		nodes:   opt.Obs.Counter("mine.fptree_nodes"),
+		emitted: opt.Obs.Counter("mine.patterns_emitted"),
+	}
+	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
 	return m.out, err
 }
@@ -25,6 +34,9 @@ type growthMiner struct {
 	opt Options
 	out []Pattern
 	dc  deadlineChecker
+
+	nodes   *obs.Counter
+	emitted *obs.Counter
 }
 
 // emit records one pattern; prefix is in discovery order and gets
@@ -39,6 +51,7 @@ func (m *growthMiner) emit(prefix []int32, support int) error {
 	items := append([]int32(nil), prefix...)
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	m.out = append(m.out, Pattern{Items: items, Support: support})
+	m.emitted.Inc()
 	return nil
 }
 
@@ -59,7 +72,7 @@ func (m *growthMiner) mine(tree *fpTree, prefix []int32) error {
 			continue
 		}
 		condTx, condW := tree.conditionalBase(it)
-		condTree := buildTree(condTx, condW, m.opt.MinSupport)
+		condTree := buildTree(condTx, condW, m.opt.MinSupport, m.nodes)
 		if err := m.mine(condTree, newPrefix); err != nil {
 			return err
 		}

@@ -1,6 +1,10 @@
 package mining
 
-import "sort"
+import (
+	"sort"
+
+	"dfpc/internal/obs"
+)
 
 // fpNode is one node of an FP-tree. Children are kept as a singly linked
 // sibling list, which profiles better than per-node maps at the fanouts
@@ -24,12 +28,15 @@ type fpTree struct {
 	// order ranks items by descending total count (ties broken by item
 	// ID) so transactions insert in a canonical order.
 	order map[int32]int
+	// nodes counts node creations across this tree (nil = off).
+	nodes *obs.Counter
 }
 
 // buildTree constructs an FP-tree from weighted transactions, keeping
 // only items with count ≥ minSupport. Each transaction tx[i] carries
-// weight w[i] (plain transaction sets pass weight 1).
-func buildTree(tx [][]int32, w []int, minSupport int) *fpTree {
+// weight w[i] (plain transaction sets pass weight 1). nodes, when
+// non-nil, is incremented once per allocated tree node.
+func buildTree(tx [][]int32, w []int, minSupport int, nodes *obs.Counter) *fpTree {
 	counts := map[int32]int{}
 	for i, t := range tx {
 		for _, it := range t {
@@ -56,6 +63,7 @@ func buildTree(tx [][]int32, w []int, minSupport int) *fpTree {
 		heads:  make(map[int32]*fpNode, len(kept)),
 		counts: counts,
 		order:  make(map[int32]int, len(kept)),
+		nodes:  nodes,
 	}
 	for rank, it := range kept {
 		t.order[it] = rank
@@ -90,6 +98,7 @@ func (t *fpTree) insert(items []int32, weight int) {
 			node.child = child
 			child.link = t.heads[it]
 			t.heads[it] = child
+			t.nodes.Inc()
 		}
 		child.count += weight
 		node = child

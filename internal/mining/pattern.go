@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"dfpc/internal/obs"
 )
 
 // ErrPatternBudget is returned when a miner exceeds Options.MaxPatterns.
@@ -60,6 +62,10 @@ type Options struct {
 	// Deadline aborts the run with ErrDeadline once passed (checked
 	// periodically). Zero means no deadline.
 	Deadline time.Time
+	// Obs, when non-nil, receives mining vitals: patterns emitted,
+	// FP-tree nodes built, subsumption prunes, Eclat intersections,
+	// Apriori candidates. Nil disables recording at no cost.
+	Obs *obs.Observer
 }
 
 // deadlineChecker amortizes time checks to one per checkEvery emissions.

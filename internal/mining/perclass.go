@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/obs"
 )
 
 // PerClassOptions configures the paper's feature-generation step
@@ -30,6 +31,9 @@ type PerClassOptions struct {
 	MinLen int
 	// Deadline aborts mining with ErrDeadline once passed (0 = none).
 	Deadline time.Time
+	// Obs, when non-nil, records one span per class partition plus the
+	// mining counters (see Options.Obs). Nil disables recording.
+	Obs *obs.Observer
 }
 
 // MinePerClass partitions the binary dataset by class, mines each
@@ -45,6 +49,8 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 	seen := map[string]bool{}
 	var union []Pattern
 	budget := opt.MaxPatterns
+	dedupDropped := opt.Obs.Counter("mine.dedup_dropped")
+	minlenDropped := opt.Obs.Counter("mine.minlen_dropped")
 	for c := 0; c < b.NumClasses(); c++ {
 		rows := b.ClassMasks[c].Indices()
 		if len(rows) == 0 {
@@ -58,10 +64,13 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		if abs < 1 {
 			abs = 1
 		}
-		mopt := Options{MinSupport: abs, MaxLen: opt.MaxLen, Deadline: opt.Deadline}
+		sp := opt.Obs.Start("mine-class").
+			Attr("class", c).Attr("rows", len(rows)).Attr("abs_min_sup", abs)
+		mopt := Options{MinSupport: abs, MaxLen: opt.MaxLen, Deadline: opt.Deadline, Obs: opt.Obs}
 		if budget > 0 {
 			remaining := budget - len(union)
 			if remaining <= 0 {
+				sp.End()
 				return union, ErrPatternBudget
 			}
 			mopt.MaxPatterns = remaining
@@ -75,10 +84,12 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		}
 		for _, p := range ps {
 			if opt.MinLen > 1 && p.Len() < opt.MinLen {
+				minlenDropped.Inc()
 				continue
 			}
 			key := p.Key()
 			if seen[key] {
+				dedupDropped.Inc()
 				continue
 			}
 			seen[key] = true
@@ -86,10 +97,12 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 			p.Support = b.Cover(p.Items).Count()
 			union = append(union, p)
 		}
+		sp.Attr("patterns", len(ps)).End()
 		if err != nil {
 			return union, err
 		}
 	}
+	opt.Obs.Counter("mine.patterns_union").Add(int64(len(union)))
 	SortPatterns(union)
 	return union, nil
 }

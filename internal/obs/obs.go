@@ -1,0 +1,308 @@
+// Package obs is the pipeline's observability substrate: nestable
+// stage spans (wall time + allocation deltas + attributes), a cheap
+// counter/gauge registry, report exporters (tree, JSON, CSV), and
+// pprof/trace profiling hooks shared by the CLIs.
+//
+// The package is built around a nil-recorder fast path: every method is
+// safe — and nearly free — on a nil *Observer, nil *Span, nil *Counter,
+// and nil *Gauge. Instrumented code therefore threads a possibly-nil
+// observer through unconditionally; when observability is off the cost
+// is a nil check per call site and zero allocation.
+//
+//	var o *obs.Observer            // disabled
+//	sp := o.Start("mine")          // no-op, returns nil
+//	o.Counter("fptree.nodes")      // no-op, returns nil
+//	sp.End()                       // no-op
+//
+// Hot loops hold the *Counter (not the observer) and call Add, which is
+// a single atomic increment when enabled and a nil check when not.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer records one run: a tree of spans plus a counter/gauge
+// registry. Construct with New; a nil Observer is a valid disabled
+// recorder. An Observer may be reused across runs — Reset clears it.
+type Observer struct {
+	mu      sync.Mutex
+	started time.Time
+	spans   []*Span // top-level (root) spans, in start order
+	stack   []*Span // currently open spans, innermost last
+
+	regMu    sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled Observer.
+func New() *Observer {
+	return &Observer{
+		started:  time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+	}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Reset discards all recorded spans, counters, and gauges.
+func (o *Observer) Reset() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.started = time.Now()
+	o.spans = nil
+	o.stack = nil
+	o.mu.Unlock()
+	o.regMu.Lock()
+	o.counters = map[string]*Counter{}
+	o.gauges = map[string]*Gauge{}
+	o.regMu.Unlock()
+}
+
+// GobEncode makes types embedding a *Observer field (configs that get
+// snapshotted with encoding/gob) encodable. Observers themselves carry
+// no persistent state worth saving, so the encoding is empty.
+func (o *Observer) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores nothing: a decoded observer is a fresh disabled
+// recorder placeholder.
+func (o *Observer) GobDecode([]byte) error { return nil }
+
+// Attr is one key/value annotation on a span. Values are rendered to
+// strings at Set time so reports are self-contained.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed stage of a run. Spans nest: a span started while
+// another is open becomes its child. End closes the span, capturing
+// wall time and the runtime.MemStats total-allocation delta.
+type Span struct {
+	o          *Observer
+	name       string
+	start      time.Time
+	allocStart uint64
+
+	mu       sync.Mutex
+	wall     time.Duration
+	alloc    uint64
+	attrs    []Attr
+	children []*Span
+	done     bool
+}
+
+// Start opens a span named name under the innermost open span (or at
+// the top level). It returns nil — a valid no-op span — on a nil
+// observer.
+func (o *Observer) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	s := &Span{o: o, name: name, start: time.Now(), allocStart: totalAlloc()}
+	o.mu.Lock()
+	if n := len(o.stack); n > 0 {
+		parent := o.stack[n-1]
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		o.spans = append(o.spans, s)
+	}
+	o.stack = append(o.stack, s)
+	o.mu.Unlock()
+	return s
+}
+
+// Attr annotates the span with a key/value pair and returns the span
+// for chaining. The value is rendered with fmt.Sprint immediately.
+func (s *Span) Attr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording wall time and allocation delta, and
+// pops it (plus any unclosed children) off the observer's open stack.
+// Ending a span twice keeps the first measurement.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.wall = time.Since(s.start)
+		if a := totalAlloc(); a > s.allocStart {
+			s.alloc = a - s.allocStart
+		}
+	}
+	s.mu.Unlock()
+	o := s.o
+	o.mu.Lock()
+	for i := len(o.stack) - 1; i >= 0; i-- {
+		if o.stack[i] == s {
+			o.stack = o.stack[:i]
+			break
+		}
+	}
+	o.mu.Unlock()
+}
+
+// Wall returns the span's recorded wall time (zero before End).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wall
+}
+
+// totalAlloc reads the cumulative heap allocation counter. ReadMemStats
+// is not free, but spans mark stage boundaries, never hot-loop
+// iterations.
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil Counter is a no-op. Add is one atomic on the hot path.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric (coverage residual, chosen C,
+// resolved min_sup, …). A nil Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (zero if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Counter returns the named counter, creating it on first use. It
+// returns nil — a valid no-op counter — on a nil observer. Callers on
+// hot paths should look the counter up once and retain it.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.regMu.RLock()
+	c := o.counters[name]
+	o.regMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	o.regMu.Lock()
+	defer o.regMu.Unlock()
+	if c = o.counters[name]; c == nil {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil on a nil
+// observer.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.regMu.RLock()
+	g := o.gauges[name]
+	o.regMu.RUnlock()
+	if g != nil {
+		return g
+	}
+	o.regMu.Lock()
+	defer o.regMu.Unlock()
+	if g = o.gauges[name]; g == nil {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// counterValues snapshots the counter registry.
+func (o *Observer) counterValues() map[string]int64 {
+	o.regMu.RLock()
+	defer o.regMu.RUnlock()
+	if len(o.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(o.counters))
+	for name, c := range o.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// gaugeValues snapshots the gauge registry.
+func (o *Observer) gaugeValues() map[string]float64 {
+	o.regMu.RLock()
+	defer o.regMu.RUnlock()
+	if len(o.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(o.gauges))
+	for name, g := range o.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileFlags holds the standard profiling flag values shared by the
+// CLIs (cmd/dfpc, cmd/dfpc-mine, cmd/experiments). Register the flags,
+// then bracket the program's work between Start and the returned stop
+// function.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+}
+
+// Register installs -cpuprofile, -memprofile, and -trace on fs.
+func (f *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.TracePath, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the requested profiles. The returned stop function ends
+// them and writes the heap profile; call it exactly once (defer is
+// fine). With no flags set, both Start and stop are no-ops.
+func (f *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if f.TracePath != "" {
+		traceFile, err = os.Create(f.TracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	memPath := f.MemProfile
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // settle live objects before the heap snapshot
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// SpanReport is the serializable form of one span.
+type SpanReport struct {
+	Name       string        `json:"name"`
+	WallNS     int64         `json:"wall_ns"`
+	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
+	Attrs      []Attr        `json:"attrs,omitempty"`
+	Children   []*SpanReport `json:"children,omitempty"`
+}
+
+// Wall returns the span's wall time as a duration.
+func (s *SpanReport) Wall() time.Duration { return time.Duration(s.WallNS) }
+
+// RunReport is the machine-readable summary of one observed run: the
+// span tree plus the final counter and gauge values. It round-trips
+// losslessly through encoding/json and feeds the BENCH_*.json
+// trajectory files.
+type RunReport struct {
+	Name      string             `json:"name,omitempty"`
+	StartedAt time.Time          `json:"started_at"`
+	WallNS    int64              `json:"wall_ns"`
+	Spans     []*SpanReport      `json:"spans,omitempty"`
+	Counters  map[string]int64   `json:"counters,omitempty"`
+	Gauges    map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Report snapshots the observer into a RunReport named name. Open spans
+// are included with their current (zero) measurements; call it after
+// the instrumented work has finished. A nil observer reports nil.
+func (o *Observer) Report(name string) *RunReport {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	spans := append([]*Span(nil), o.spans...)
+	started := o.started
+	o.mu.Unlock()
+	r := &RunReport{
+		Name:      name,
+		StartedAt: started,
+		WallNS:    int64(time.Since(started)),
+		Counters:  o.counterValues(),
+		Gauges:    o.gaugeValues(),
+	}
+	for _, s := range spans {
+		r.Spans = append(r.Spans, s.report())
+	}
+	return r
+}
+
+func (s *Span) report() *SpanReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := &SpanReport{
+		Name:       s.name,
+		WallNS:     int64(s.wall),
+		AllocBytes: s.alloc,
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	for _, c := range s.children {
+		sr.Children = append(sr.Children, c.report())
+	}
+	return sr
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseReport reads a RunReport written by WriteJSON.
+func ParseReport(rd io.Reader) (*RunReport, error) {
+	var r RunReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: parse report: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteTree renders the report as a human-readable stage tree followed
+// by the counters and gauges:
+//
+//	fit                              412ms   18.2MB  rows=242
+//	  mine                           210ms   12.0MB  min_sup=0.15
+//	  ...
+func (r *RunReport) WriteTree(w io.Writer) {
+	if r.Name != "" {
+		fmt.Fprintf(w, "%s (total %v)\n", r.Name, time.Duration(r.WallNS).Round(time.Millisecond))
+	}
+	for _, s := range r.Spans {
+		writeSpanTree(w, s, 0)
+	}
+	if len(r.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(r.Counters) {
+			fmt.Fprintf(w, "  %-38s %d\n", k, r.Counters[k])
+		}
+	}
+	if len(r.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(r.Gauges) {
+			fmt.Fprintf(w, "  %-38s %g\n", k, r.Gauges[k])
+		}
+	}
+}
+
+func writeSpanTree(w io.Writer, s *SpanReport, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := fmt.Sprintf("%s%-*s %9v %9s", indent, 30-len(indent), s.Name,
+		s.Wall().Round(10*time.Microsecond), fmtBytes(s.AllocBytes))
+	for _, a := range s.Attrs {
+		line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children {
+		writeSpanTree(w, c, depth+1)
+	}
+}
+
+// fmtBytes renders an allocation delta compactly.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// WriteCSV writes the report as flat CSV rows for the experiments
+// harness: kind,path,wall_ns,alloc_bytes,value,attrs. Span paths join
+// nested names with '/'; counters and gauges carry their value in the
+// value column.
+func (r *RunReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "path", "wall_ns", "alloc_bytes", "value", "attrs"}); err != nil {
+		return err
+	}
+	var walk func(prefix string, s *SpanReport) error
+	walk = func(prefix string, s *SpanReport) error {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		attrs := ""
+		for i, a := range s.Attrs {
+			if i > 0 {
+				attrs += " "
+			}
+			attrs += a.Key + "=" + a.Value
+		}
+		err := cw.Write([]string{"span", path,
+			strconv.FormatInt(s.WallNS, 10),
+			strconv.FormatUint(s.AllocBytes, 10), "", attrs})
+		if err != nil {
+			return err
+		}
+		for _, c := range s.Children {
+			if err := walk(path, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range r.Spans {
+		if err := walk("", s); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.Counters) {
+		if err := cw.Write([]string{"counter", k, "", "", strconv.FormatInt(r.Counters[k], 10), ""}); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.Gauges) {
+		if err := cw.Write([]string{"gauge", k, "", "", strconv.FormatFloat(r.Gauges[k], 'g', -1, 64), ""}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,6 +1,10 @@
 package svm
 
-import "fmt"
+import (
+	"fmt"
+
+	"dfpc/internal/obs"
+)
 
 // Config configures training.
 type Config struct {
@@ -18,6 +22,9 @@ type Config struct {
 	// resolve the default γ = 1/numFeatures. Required for RBF/Poly with
 	// Gamma <= 0.
 	NumFeatures int
+	// Obs, when non-nil, records SMO iteration and support-vector
+	// counters per Train call. Nil disables recording.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -115,7 +122,33 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 			m.pairClass = append(m.pairClass, [2]int{a, b})
 		}
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("svm.smo_iterations").Add(int64(m.Iterations()))
+		cfg.Obs.Counter("svm.support_vectors").Add(int64(m.SupportVectors()))
+		cfg.Obs.Counter("svm.binary_problems").Add(int64(len(m.pairs)))
+	}
 	return m, nil
+}
+
+// Iterations returns the total SMO iterations across all binary
+// subproblems of the last training run.
+func (m *Model) Iterations() int {
+	total := 0
+	for _, bm := range m.pairs {
+		total += bm.iters
+	}
+	return total
+}
+
+// SupportVectors returns the total support-vector count across all
+// binary subproblems (vectors shared by several pairs count once per
+// pair, matching LIBSVM's per-problem accounting).
+func (m *Model) SupportVectors() int {
+	total := 0
+	for _, bm := range m.pairs {
+		total += len(bm.svX)
+	}
+	return total
 }
 
 // Predict returns the predicted class for a sparse binary row.

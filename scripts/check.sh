@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: vet plus the complete
+# test suite under the race detector. CI and pre-commit both run this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "OK"
