@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -43,6 +44,9 @@ func main() {
 		sortBy   = flag.String("sort", "ig", "ranking: ig, fisher, or support")
 		verbose  = flag.Bool("verbose", false, "print a stage-timing tree and mining counters to stderr")
 		reportTo = flag.String("report", "", "write a JSON RunReport of the mining run here")
+
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the mining run (0 = unbounded)")
+		onBudget = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -89,15 +93,36 @@ func main() {
 		fail(err)
 	}
 	sp.Attr("items", b.NumItems()).End()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	usedSup := *minSup
 	sp = o.Start("mine").Attr("min_sup", *minSup).Attr("closed", *closed)
-	ps, err := mining.MinePerClass(b, mining.PerClassOptions{
+	mopt := mining.PerClassOptions{
 		MinSupport:  *minSup,
 		Closed:      *closed,
 		MaxLen:      *maxLen,
 		MaxPatterns: 2_000_000,
 		MinLen:      2,
+		Ctx:         ctx,
 		Obs:         o,
-	})
+	}
+	var ps []mining.Pattern
+	switch strings.ToLower(*onBudget) {
+	case "", "fail":
+		ps, err = mining.MinePerClass(b, mopt)
+	case "degrade":
+		var degs []mining.Degradation
+		ps, degs, usedSup, err = mining.MinePerClassAdaptive(b, mopt, mining.Backoff{})
+		for _, dg := range degs {
+			fmt.Fprintf(os.Stderr, "dfpc-mine: degraded: %v\n", dg)
+		}
+	default:
+		err = fmt.Errorf("unknown -on-budget policy %q (want fail or degrade)", *onBudget)
+	}
 	sp.Attr("patterns", len(ps)).End()
 	if err != nil {
 		fail(err)
@@ -132,7 +157,7 @@ func main() {
 	})
 
 	fmt.Printf("dataset %s: %d rows, %d items, %d classes; mined %d patterns (min_sup %.3f, closed=%v)\n\n",
-		d.Name, n, b.NumItems(), b.NumClasses(), len(ps), *minSup, *closed)
+		d.Name, n, b.NumItems(), b.NumClasses(), len(ps), usedSup, *closed)
 	fmt.Printf("%7s %7s %8s %8s %8s  %s\n", "support", "θ", "IG", "Fisher", "IG_ub", "pattern")
 	limit := *top
 	if limit > len(rows) {

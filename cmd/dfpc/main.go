@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,11 @@ func main() {
 		loadFrom  = flag.String("load", "", "load a saved model and predict the dataset (no training)")
 		verbose   = flag.Bool("verbose", false, "print per-fold progress and a stage-timing tree")
 		reportTo  = flag.String("report", "", "write a JSON RunReport of the evaluation here")
+
+		timeout      = flag.Duration("timeout", 0, "whole-run wall-clock bound (0 = unbounded)")
+		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
+		onBudget     = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
+		contOnError  = flag.Bool("continue-on-error", false, "isolate failing CV folds and report statistics over the completed ones")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -116,8 +123,25 @@ func main() {
 	if *useFisher {
 		opts = append(opts, dfpc.WithFisherRelevance())
 	}
+	if *stageTimeout > 0 {
+		opts = append(opts, dfpc.WithStageTimeout(*stageTimeout))
+	}
+	switch strings.ToLower(*onBudget) {
+	case "", "fail":
+	case "degrade":
+		opts = append(opts, dfpc.WithOnBudget(dfpc.OnBudgetDegrade, 0, 0))
+	default:
+		fail(fmt.Errorf("unknown -on-budget policy %q (want fail or degrade)", *onBudget))
+	}
 
 	clf := dfpc.NewClassifier(fam, lrn, opts...)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var o *dfpc.Observer
 	if *verbose || *reportTo != "" {
@@ -130,15 +154,38 @@ func main() {
 				fold, total, elapsed.Round(time.Millisecond), 100*acc)
 		}
 	}
-	res, err := dfpc.CrossValidateObserved(clf, d, *folds, *seed, o, progress)
+	res, err := dfpc.CrossValidateContext(ctx, clf, d, *folds, *seed, dfpc.CVOptions{
+		Obs:             o,
+		Progress:        progress,
+		ContinueOnError: *contOnError,
+	})
 	if err != nil {
-		fail(err)
+		switch {
+		case ctx.Err() != nil && errors.Is(err, dfpc.ErrDeadline):
+			fail("run exceeded -timeout:", err)
+		case errors.Is(err, dfpc.ErrDeadline):
+			fail("stage exceeded -stage-timeout:", err)
+		case errors.Is(err, dfpc.ErrCanceled):
+			fail("run canceled:", err)
+		default:
+			fail(err)
+		}
 	}
 
 	fmt.Printf("dataset     %s (%d rows, %d attrs, %d classes)\n",
 		d.Name, d.NumRows(), d.NumAttrs(), d.NumClasses())
 	fmt.Printf("model       %v + %v\n", fam, lrn)
 	fmt.Printf("accuracy    %.2f%% ± %.2f (%d-fold CV)\n", 100*res.Mean, 100*res.Std, *folds)
+	if len(res.Failures) > 0 {
+		fmt.Printf("folds       %d/%d completed; statistics cover completed folds only\n",
+			res.Completed, res.Completed+len(res.Failures))
+		for _, fe := range res.Failures {
+			fmt.Fprintf(os.Stderr, "dfpc: %v\n", fe)
+		}
+	}
+	for _, w := range clf.Stats.Warnings {
+		fmt.Fprintf(os.Stderr, "dfpc: warning (last fold): %v\n", w)
+	}
 	fmt.Printf("train time  %v   test time  %v\n", res.TrainTime.Round(1e6), res.TestTime.Round(1e6))
 	if clf.Stats.MinSupport > 0 {
 		fmt.Printf("min_sup     %.4f (last fold), %d patterns mined, %d features selected\n",

@@ -15,14 +15,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dfpc"
+	"dfpc/internal/core"
 	"dfpc/internal/datagen"
 	"dfpc/internal/experiments"
 	"dfpc/internal/obs"
@@ -39,6 +42,10 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print a stage-timing tree after the run")
 	reportTo := flag.String("report", "", "write a JSON RunReport of the run here")
 	benchJSON := flag.String("benchjson", "", "run the instrumented pipeline benchmark and write per-stage reports here (e.g. BENCH_pipeline.json)")
+	timeout := flag.Duration("timeout", 0, "whole-run wall-clock bound (0 = unbounded)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
+	onBudget := flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
+	contOnError := flag.Bool("continue-on-error", false, "isolate failing CV folds; table cells then cover the completed folds")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -66,7 +73,27 @@ func main() {
 		return
 	}
 
-	cfg := runConfig{folds: *folds, quick: *quick, csvDir: *csvDir}
+	cfg := runConfig{
+		folds:        *folds,
+		quick:        *quick,
+		csvDir:       *csvDir,
+		stageTimeout: *stageTimeout,
+		contOnError:  *contOnError,
+		ctx:          context.Background(),
+	}
+	switch strings.ToLower(*onBudget) {
+	case "", "fail":
+		cfg.onBudget = core.FailOnBudget
+	case "degrade":
+		cfg.onBudget = core.DegradeOnBudget
+	default:
+		fail(fmt.Errorf("unknown -on-budget policy %q (want fail or degrade)", *onBudget))
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		cfg.ctx, cancel = context.WithTimeout(cfg.ctx, *timeout)
+		defer cancel()
+	}
 	if *verbose || *reportTo != "" {
 		cfg.obs = obs.New()
 	}
@@ -129,6 +156,24 @@ type runConfig struct {
 	quick  bool
 	csvDir string
 	obs    *obs.Observer // nil unless -verbose or -report
+
+	// bounded-execution settings threaded into every experiment
+	ctx          context.Context
+	stageTimeout time.Duration
+	onBudget     core.BudgetPolicy
+	contOnError  bool
+}
+
+// protocol builds the experiments.Protocol carrying the run's
+// bounded-execution settings.
+func (c runConfig) protocol() experiments.Protocol {
+	return experiments.Protocol{
+		Folds:           c.folds,
+		Ctx:             c.ctx,
+		StageTimeout:    c.stageTimeout,
+		OnBudget:        c.onBudget,
+		ContinueOnError: c.contOnError,
+	}
 }
 
 // benchDatasets are the generated datasets profiled by -benchjson,
@@ -214,7 +259,7 @@ func runAll(cfg runConfig) error {
 func runTable(cfg runConfig, table string) error {
 	sp := cfg.obs.Start("table").Attr("table", table).Attr("folds", cfg.folds)
 	defer sp.End()
-	proto := experiments.Protocol{Folds: cfg.folds}
+	proto := cfg.protocol()
 	switch table {
 	case "1":
 		rows, err := experiments.RunTable1(datagen.Table1Names(), proto)
@@ -236,6 +281,7 @@ func runTable(cfg runConfig, table string) error {
 		}
 	case "3", "4", "5":
 		sc := scalabilityConfig(table, cfg.quick)
+		sc.Ctx = cfg.ctx
 		rows, err := experiments.RunScalability(sc)
 		if err != nil {
 			return err

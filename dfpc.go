@@ -18,8 +18,10 @@
 package dfpc
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"dfpc/internal/c45"
 	"dfpc/internal/core"
@@ -28,7 +30,9 @@ import (
 	"dfpc/internal/discretize"
 	"dfpc/internal/eval"
 	"dfpc/internal/featsel"
+	"dfpc/internal/guard"
 	"dfpc/internal/measures"
+	"dfpc/internal/mining"
 	"dfpc/internal/obs"
 )
 
@@ -41,6 +45,51 @@ type Attribute = dataset.Attribute
 
 // CVResult summarizes a cross-validation run.
 type CVResult = eval.CVResult
+
+// CVOptions carries optional cross-validation behavior: observability
+// hooks, per-fold progress, and fold-failure isolation
+// (ContinueOnError).
+type CVOptions = eval.CVOptions
+
+// FoldError records one failed cross-validation fold (see
+// CVResult.Failures).
+type FoldError = eval.FoldError
+
+// Warning records a non-fatal degradation during Fit — a min_sup
+// escalation under OnBudgetDegrade, a non-converged SMO solve. Read
+// them from Classifier.Stats.Warnings.
+type Warning = core.Warning
+
+// BudgetPolicy selects the response to the pattern-budget trip during
+// mining (see WithOnBudget).
+type BudgetPolicy = core.BudgetPolicy
+
+const (
+	// OnBudgetFail fails the fit with ErrPatternBudget (default).
+	OnBudgetFail = core.FailOnBudget
+	// OnBudgetDegrade escalates min_sup geometrically and re-mines,
+	// recording each escalation as a Warning.
+	OnBudgetDegrade = core.DegradeOnBudget
+)
+
+// Sentinel errors for bounded execution, matchable with errors.Is
+// through any wrapping the pipeline applies.
+var (
+	// ErrCanceled reports a run stopped by context cancellation.
+	ErrCanceled = guard.ErrCanceled
+	// ErrDeadline reports a run stopped by a context or stage deadline.
+	ErrDeadline = guard.ErrDeadline
+	// ErrMemoryLimit reports a run stopped by the soft memory ceiling.
+	ErrMemoryLimit = guard.ErrMemoryLimit
+	// ErrDegraded reports that min_sup escalation was attempted but
+	// still could not fit the pattern budget.
+	ErrDegraded = guard.ErrDegraded
+	// ErrPartialResult reports a cross-validation run in which no fold
+	// completed.
+	ErrPartialResult = guard.ErrPartialResult
+	// ErrPatternBudget reports mining aborted past WithMaxPatterns.
+	ErrPatternBudget = mining.ErrPatternBudget
+)
 
 // CompareResult reports a paired t-test between two CV runs.
 type CompareResult = eval.CompareResult
@@ -211,6 +260,32 @@ func WithProbability() Option {
 	return func(c *core.Config) { c.Probability = true }
 }
 
+// WithStageTimeout bounds each pipeline stage (mining, selection,
+// learning) individually; a stage running past it aborts the fit with
+// an error satisfying errors.Is(err, ErrDeadline). Whole-run bounds
+// come from the context passed to Classifier.FitContext.
+func WithStageTimeout(d time.Duration) Option {
+	return func(c *core.Config) { c.StageTimeout = d }
+}
+
+// WithMemoryLimit sets a soft heap-allocation ceiling in bytes,
+// enforced during mining; exceeding it aborts the fit with an error
+// satisfying errors.Is(err, ErrMemoryLimit).
+func WithMemoryLimit(bytes uint64) Option {
+	return func(c *core.Config) { c.MemLimit = bytes }
+}
+
+// WithOnBudget selects the pattern-budget policy: OnBudgetFail (the
+// default) or OnBudgetDegrade. retries and backoff tune the
+// degradation (0 keeps the defaults: 4 retries, factor 2).
+func WithOnBudget(policy BudgetPolicy, retries int, backoff float64) Option {
+	return func(c *core.Config) {
+		c.OnBudget = policy
+		c.BudgetRetries = retries
+		c.BudgetBackoff = backoff
+	}
+}
+
 // Classifier is a configured classification pipeline. It implements
 // the eval.Pipeline contract used by CrossValidate: Fit on dataset rows
 // then Predict other rows.
@@ -316,6 +391,20 @@ func CrossValidate(c *Classifier, d *Dataset, k int, seed int64) (*CVResult, err
 func CrossValidateObserved(c *Classifier, d *Dataset, k int, seed int64, o *Observer, progress ProgressFunc) (*CVResult, error) {
 	c.SetObserver(o)
 	return eval.CrossValidateOpt(c, d, k, seed, eval.CVOptions{Obs: o, Progress: progress})
+}
+
+// CrossValidateContext is CrossValidate under a context with full
+// CVOptions: cancellation or a context deadline aborts the run
+// cooperatively (errors.Is(err, ErrCanceled) / ErrDeadline), and
+// opt.ContinueOnError isolates fold failures into CVResult.Failures
+// instead of aborting — Mean/Std then cover the completed folds only,
+// and a run with no completed fold returns an error satisfying
+// errors.Is(err, ErrPartialResult).
+func CrossValidateContext(ctx context.Context, c *Classifier, d *Dataset, k int, seed int64, opt CVOptions) (*CVResult, error) {
+	if opt.Obs != nil {
+		c.SetObserver(opt.Obs)
+	}
+	return eval.CrossValidateContext(ctx, c, d, k, seed, opt)
 }
 
 // Compare runs a two-sided paired t-test over the fold accuracies of

@@ -6,10 +6,13 @@
 package c45
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -23,6 +26,12 @@ type Config struct {
 	Confidence float64
 	// MaxDepth optionally caps tree depth; 0 means unbounded.
 	MaxDepth int
+	// Ctx, when non-nil, makes tree growth cancellable; Train aborts
+	// with an error satisfying errors.Is(err, guard.ErrCanceled) (or
+	// guard.ErrDeadline). Nil costs nothing.
+	Ctx context.Context
+	// Deadline aborts growth once passed (0 = none).
+	Deadline time.Time
 	// Obs, when non-nil, records node-count and depth metrics per Train
 	// call. Nil disables recording.
 	Obs *obs.Observer
@@ -73,12 +82,19 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		}
 	}
 	cfg = cfg.withDefaults()
-	b := &builder{x: x, y: y, numClasses: numClasses, cfg: cfg}
+	b := &builder{x: x, y: y, numClasses: numClasses, cfg: cfg,
+		g: guard.New(cfg.Ctx, guard.Limits{Deadline: cfg.Deadline})}
+	if err := b.g.CheckNow(); err != nil {
+		return nil, err
+	}
 	rows := make([]int, len(x))
 	for i := range rows {
 		rows[i] = i
 	}
 	root := b.grow(rows, 0)
+	if b.err != nil {
+		return nil, b.err
+	}
 	if cfg.Confidence > 0 {
 		prune(root, cfg.Confidence)
 	}
@@ -95,6 +111,10 @@ type builder struct {
 	y          []int
 	numClasses int
 	cfg        Config
+	g          *guard.Guard
+	// err records the first guard failure; once set, grow collapses to
+	// leaves immediately and Train returns the error instead of a model.
+	err error
 }
 
 // histogram returns class counts, majority class, and leaf errors for a
@@ -211,6 +231,15 @@ func (b *builder) bestSplit(rows []int, counts []int) (feature int32, ok bool) {
 func (b *builder) grow(rows []int, depth int) *node {
 	counts, major, errs := b.histogram(rows)
 	nd := &node{feature: -1, class: major, counts: counts, n: len(rows), errorsAsLeaf: errs}
+	// Cooperative cancellation at every recursion entry; collapsing to a
+	// leaf keeps grow's signature while Train surfaces b.err.
+	if b.err != nil {
+		return nd
+	}
+	if err := b.g.Check(); err != nil {
+		b.err = err
+		return nd
+	}
 	if errs == 0 || len(rows) < 2*b.cfg.MinLeaf {
 		return nd
 	}

@@ -8,13 +8,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"dfpc/internal/c45"
 	"dfpc/internal/dataset"
 	"dfpc/internal/discretize"
 	"dfpc/internal/featsel"
+	"dfpc/internal/guard"
 	"dfpc/internal/knn"
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
@@ -114,12 +117,68 @@ type Config struct {
 	// entropy-MDL).
 	Disc discretize.Options
 
+	// StageTimeout bounds each pipeline stage (mining, selection,
+	// learning) individually; a stage running past it aborts with an
+	// error satisfying errors.Is(err, guard.ErrDeadline). 0 = unbounded.
+	// Whole-run bounds come from the context passed to FitContext.
+	StageTimeout time.Duration
+	// MemLimit is a soft heap-allocation ceiling in bytes enforced
+	// during mining (the stage with unbounded intermediate state);
+	// exceeding it aborts with guard.ErrMemoryLimit. 0 = none.
+	MemLimit uint64
+	// OnBudget selects what happens when mining trips MaxPatterns:
+	// FailOnBudget (the default) surfaces mining.ErrPatternBudget;
+	// DegradeOnBudget escalates min_sup geometrically and re-mines,
+	// recording each escalation in FitStats.Warnings.
+	OnBudget BudgetPolicy
+	// BudgetRetries caps min_sup escalations under DegradeOnBudget
+	// (0 = the mining package default, 4).
+	BudgetRetries int
+	// BudgetBackoff is the min_sup multiplier per escalation (0 = the
+	// mining package default, 2).
+	BudgetBackoff float64
+
 	// Obs, when non-nil, receives stage spans and pipeline counters for
 	// every Fit/Predict call (see internal/obs). Nil — the default —
 	// disables instrumentation at zero cost. Observers are never
 	// serialized with saved models.
 	Obs *obs.Observer
 }
+
+// BudgetPolicy selects the response to mining's pattern-budget trip.
+type BudgetPolicy int
+
+const (
+	// FailOnBudget returns mining.ErrPatternBudget from Fit (default).
+	FailOnBudget BudgetPolicy = iota
+	// DegradeOnBudget escalates min_sup and re-mines, degrading the
+	// feature pool instead of failing; each escalation is recorded as a
+	// Warning on FitStats.
+	DegradeOnBudget
+)
+
+func (p BudgetPolicy) String() string {
+	switch p {
+	case FailOnBudget:
+		return "fail"
+	case DegradeOnBudget:
+		return "degrade"
+	default:
+		return fmt.Sprintf("BudgetPolicy(%d)", int(p))
+	}
+}
+
+// Warning records a non-fatal degradation that happened during Fit —
+// a min_sup escalation, a non-converged SMO solve — so callers can
+// distinguish clean results from degraded ones without failing the run.
+type Warning struct {
+	// Stage names the pipeline stage that degraded ("mine", "learn").
+	Stage string
+	// Message is a human-readable description of the degradation.
+	Message string
+}
+
+func (w Warning) String() string { return w.Stage + ": " + w.Message }
 
 func (c Config) withDefaults() Config {
 	if c.IG0 <= 0 {
@@ -173,6 +232,25 @@ type FitStats struct {
 	MinedCount   int     // |F| before selection
 	FeatureCount int     // patterns (or items for Item_FS) after selection
 	SelectedC    float64 // SVM C chosen by inner model selection (0 = none)
+	// Warnings lists the degradations of this fit (empty for a clean
+	// run): min_sup escalations under DegradeOnBudget, non-converged
+	// SMO solves. A model with warnings is usable but not pristine.
+	Warnings []Warning
+}
+
+// warn appends a degradation record to the current fit's stats and
+// mirrors it onto the observer.
+func (p *Pipeline) warn(stage, msg string) {
+	p.Stats.Warnings = append(p.Stats.Warnings, Warning{Stage: stage, Message: msg})
+	p.cfg.Obs.Counter("core.warnings").Inc()
+}
+
+// stageDeadline resolves the per-stage wall-clock bound.
+func (p *Pipeline) stageDeadline() time.Time {
+	if p.cfg.StageTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(p.cfg.StageTimeout)
 }
 
 // FeatureReport describes one selected pattern feature for
@@ -272,10 +350,25 @@ func (p *Pipeline) resolveMinSupport(b *dataset.Binary) (float64, error) {
 	return rel, nil
 }
 
-// Fit trains the pipeline on the given rows of d.
+// Fit trains the pipeline on the given rows of d. It is equivalent to
+// FitContext with context.Background() and costs nothing extra.
 func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
+	return p.FitContext(context.Background(), d, rows)
+}
+
+// FitContext trains the pipeline on the given rows of d under ctx:
+// cancellation or a context deadline aborts mining, selection, and
+// learning cooperatively with an error satisfying
+// errors.Is(err, guard.ErrCanceled) or guard.ErrDeadline. Per-stage
+// bounds come from Config.StageTimeout and Config.MemLimit. A
+// background context with no configured limits takes the same zero-cost
+// path as Fit.
+func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []int) error {
 	if len(rows) == 0 {
 		return errors.New("core: empty training set")
+	}
+	if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
+		return err
 	}
 	o := p.cfg.Obs
 	fit := o.Start("fit").Attr("rows", len(rows)).Attr("learner", p.cfg.Learner)
@@ -318,11 +411,11 @@ func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
 
 	switch {
 	case p.cfg.SelectItems:
-		if err := p.selectItems(b); err != nil {
+		if err := p.selectItems(ctx, b); err != nil {
 			return err
 		}
 	case p.cfg.UsePatterns:
-		if err := p.generatePatterns(b); err != nil {
+		if err := p.generatePatterns(ctx, b); err != nil {
 			return err
 		}
 	}
@@ -330,7 +423,7 @@ func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
 
 	if len(p.cfg.CGrid) > 0 && (p.cfg.Learner == SVMLinear || p.cfg.Learner == SVMRBF) {
 		ms := o.Start("model-select").Attr("grid", len(p.cfg.CGrid))
-		c, err := p.selectSVMC(d, rows)
+		c, err := p.selectSVMC(ctx, d, rows)
 		if err != nil {
 			ms.End()
 			return fmt.Errorf("core: model selection: %w", err)
@@ -361,7 +454,7 @@ func (p *Pipeline) Fit(d *dataset.Dataset, rows []int) error {
 
 	ls := o.Start("learn").Attr("learner", p.cfg.Learner).
 		Attr("features", p.numItems+len(p.patterns))
-	err = p.learn(x, b.Labels, b.NumClasses())
+	err = p.learn(ctx, x, b.Labels, b.NumClasses())
 	ls.End()
 	return err
 }
@@ -426,7 +519,7 @@ func (p *Pipeline) Observer() *obs.Observer { return p.cfg.Obs }
 // selectSVMC runs a small inner cross-validation over cfg.CGrid on the
 // training rows and returns the best C, which it also installs in the
 // pipeline's configuration for the final fit.
-func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
+func (p *Pipeline) selectSVMC(ctx context.Context, d *dataset.Dataset, rows []int) (float64, error) {
 	labels := make([]int, len(rows))
 	for i, r := range rows {
 		labels[i] = d.Labels[r]
@@ -459,10 +552,10 @@ func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
 			for i, idx := range teIdx {
 				te[i] = rows[idx]
 			}
-			if err := inner.Fit(d, tr); err != nil {
+			if err := inner.FitContext(ctx, d, tr); err != nil {
 				return 0, err
 			}
-			pred, err := inner.Predict(d, te)
+			pred, err := inner.PredictContext(ctx, d, te)
 			if err != nil {
 				return 0, err
 			}
@@ -484,7 +577,7 @@ func (p *Pipeline) selectSVMC(d *dataset.Dataset, rows []int) (float64, error) {
 }
 
 // selectItems runs MMRFS over the single items (Item_FS).
-func (p *Pipeline) selectItems(b *dataset.Binary) error {
+func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 	o := p.cfg.Obs
 	sp := o.Start("select-items").Attr("items", b.NumItems())
 	defer sp.End()
@@ -495,6 +588,8 @@ func (p *Pipeline) selectItems(b *dataset.Binary) error {
 	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
 		Relevance: p.cfg.Relevance,
 		Coverage:  p.cfg.Coverage,
+		Ctx:       ctx,
+		Deadline:  p.stageDeadline(),
 		Obs:       o,
 	})
 	if err != nil {
@@ -511,8 +606,9 @@ func (p *Pipeline) selectItems(b *dataset.Binary) error {
 }
 
 // generatePatterns mines closed patterns per class and, for Pat_FS,
-// applies MMRFS.
-func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
+// applies MMRFS. Under DegradeOnBudget a pattern-budget trip escalates
+// min_sup instead of failing; each escalation lands in Stats.Warnings.
+func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) error {
 	o := p.cfg.Obs
 	sp := o.Start("mine")
 	rs := o.Start("resolve-minsup")
@@ -525,17 +621,39 @@ func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
 	p.Stats.MinSupport = minSup
 	o.Gauge("core.min_sup").Set(minSup)
 	sp.Attr("min_sup", minSup)
-	mined, err := mining.MinePerClass(b, mining.PerClassOptions{
+	mopt := mining.PerClassOptions{
 		MinSupport:  minSup,
 		Closed:      true,
 		MaxPatterns: p.cfg.MaxPatterns,
 		MaxLen:      p.cfg.MaxPatternLen,
 		MinLen:      2, // single items are already in the space
+		Ctx:         ctx,
+		Deadline:    p.stageDeadline(),
+		MemLimit:    p.cfg.MemLimit,
 		Obs:         o,
-	})
+	}
+	var mined []mining.Pattern
+	if p.cfg.OnBudget == DegradeOnBudget {
+		var degs []mining.Degradation
+		var usedSup float64
+		mined, degs, usedSup, err = mining.MinePerClassAdaptive(b, mopt, mining.Backoff{
+			Factor:     p.cfg.BudgetBackoff,
+			MaxRetries: p.cfg.BudgetRetries,
+		})
+		for _, d := range degs {
+			p.warn("mine", d.String())
+		}
+		if len(degs) > 0 {
+			p.Stats.MinSupport = usedSup
+			o.Gauge("core.min_sup").Set(usedSup)
+			sp.Attr("degraded_min_sup", usedSup).Attr("degradations", len(degs))
+		}
+	} else {
+		mined, err = mining.MinePerClass(b, mopt)
+	}
 	sp.Attr("patterns", len(mined)).End()
 	if err != nil {
-		return fmt.Errorf("core: mining at min_sup=%v: %w", minSup, err)
+		return fmt.Errorf("core: mining at min_sup=%v: %w", p.Stats.MinSupport, err)
 	}
 	p.Stats.MinedCount = len(mined)
 	o.Counter("core.patterns_mined").Add(int64(len(mined)))
@@ -554,6 +672,8 @@ func (p *Pipeline) generatePatterns(b *dataset.Binary) error {
 	res, err := featsel.MMRFS(cands, b.ClassMasks, b.Labels, featsel.Options{
 		Relevance: p.cfg.Relevance,
 		Coverage:  p.cfg.Coverage,
+		Ctx:       ctx,
+		Deadline:  p.stageDeadline(),
 		Obs:       o,
 	})
 	if err != nil {
@@ -642,8 +762,9 @@ func (p *Pipeline) PredictProb(d *dataset.Dataset, rows []int) ([][]float64, err
 }
 
 // learn trains the configured learner on the transformed rows.
-func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
+func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses int) error {
 	numFeatures := p.numItems + len(p.patterns)
+	deadline := p.stageDeadline()
 	var (
 		m   predictor
 		err error
@@ -652,6 +773,8 @@ func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
 	case C45Tree:
 		tree := p.cfg.Tree
 		tree.Obs = p.cfg.Obs
+		tree.Ctx = ctx
+		tree.Deadline = deadline
 		m, err = c45.Train(x, y, numClasses, tree)
 	case NaiveBayes:
 		m, err = nbayes.Train(x, y, numClasses, numFeatures, nbayes.Config{})
@@ -662,17 +785,28 @@ func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
 			C:           p.cfg.SVMC,
 			Kernel:      svm.Kernel{Type: svm.RBF, Gamma: p.cfg.RBFGamma},
 			NumFeatures: numFeatures,
+			Ctx:         ctx,
+			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
 		})
 	default:
 		m, err = svm.Train(x, y, numClasses, svm.Config{
 			C:           p.cfg.SVMC,
 			NumFeatures: numFeatures,
+			Ctx:         ctx,
+			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
 		})
 	}
 	if err != nil {
 		return fmt.Errorf("core: %v: %w", p.cfg.Learner, err)
+	}
+	if sm, ok := m.(*svm.Model); ok {
+		if n := sm.NonConverged(); n > 0 {
+			p.warn("learn", fmt.Sprintf(
+				"%d of %d SMO subproblem(s) hit MaxIter before converging; model is usable but may be short of optimal",
+				n, sm.BinaryProblems()))
+		}
 	}
 	if p.cfg.Probability {
 		if sm, ok := m.(*svm.Model); ok {
@@ -685,10 +819,22 @@ func (p *Pipeline) learn(x [][]int32, y []int, numClasses int) error {
 	return nil
 }
 
-// Predict classifies the given rows of d with the fitted pipeline.
+// Predict classifies the given rows of d with the fitted pipeline. It
+// is equivalent to PredictContext with context.Background().
 func (p *Pipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
+	return p.PredictContext(context.Background(), d, rows)
+}
+
+// PredictContext classifies the given rows of d under ctx; cancellation
+// aborts the per-row scoring loop with an error satisfying
+// errors.Is(err, guard.ErrCanceled) or guard.ErrDeadline.
+func (p *Pipeline) PredictContext(ctx context.Context, d *dataset.Dataset, rows []int) ([]int, error) {
 	if p.model == nil {
 		return nil, errors.New("core: Predict before Fit")
+	}
+	g := guard.New(ctx, guard.Limits{Deadline: p.stageDeadline()})
+	if err := g.CheckNow(); err != nil {
+		return nil, err
 	}
 	sp := p.cfg.Obs.Start("predict").Attr("rows", len(rows))
 	defer sp.End()
@@ -706,6 +852,9 @@ func (p *Pipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
 	}
 	out := make([]int, len(rows))
 	for i := range rows {
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
 		out[i] = p.model.Predict(p.featureVector(b.Rows[i]))
 	}
 	return out, nil

@@ -42,6 +42,13 @@ func ReadARFF(r io.Reader) (*Dataset, error) {
 				if len(d.Attrs) < 2 {
 					return nil, fmt.Errorf("arff line %d: need at least two attributes before @data", lineNo)
 				}
+				seen := make(map[string]bool, len(d.Attrs))
+				for _, a := range d.Attrs {
+					if seen[a.Name] {
+						return nil, fmt.Errorf("arff: duplicate attribute name %q", a.Name)
+					}
+					seen[a.Name] = true
+				}
 				class := d.Attrs[len(d.Attrs)-1]
 				if class.Kind != Categorical {
 					return nil, fmt.Errorf("arff: class attribute %q must be nominal", class.Name)
@@ -136,7 +143,7 @@ func parseARFFRow(d *Dataset, line string) ([]float64, int, error) {
 			continue
 		}
 		if attr.Kind == Numeric {
-			v, err := strconv.ParseFloat(cell, 64)
+			v, err := parseFiniteFloat(cell)
 			if err != nil {
 				return nil, 0, fmt.Errorf("attribute %q: %w", attr.Name, err)
 			}

@@ -33,6 +33,15 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 	nAttrs := len(header) - 1
 	rows := records[1:]
 
+	headerSeen := make(map[string]bool, len(header))
+	for _, h := range header {
+		h = strings.TrimSpace(h)
+		if headerSeen[h] {
+			return nil, fmt.Errorf("read csv %s: duplicate column name %q", name, h)
+		}
+		headerSeen[h] = true
+	}
+
 	numeric := make([]bool, nAttrs)
 	for j := 0; j < nAttrs; j++ {
 		numeric[j] = true
@@ -46,7 +55,9 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 				continue
 			}
 			seen = true
-			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			// Non-finite values ("NaN", "Inf") demote the column to
+			// categorical rather than colliding with the Missing sentinel.
+			if _, err := parseFiniteFloat(cell); err != nil {
 				numeric[j] = false
 				break
 			}
@@ -77,7 +88,7 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 				continue
 			}
 			if numeric[j] {
-				v, err := strconv.ParseFloat(cell, 64)
+				v, err := parseFiniteFloat(cell)
 				if err != nil {
 					return nil, fmt.Errorf("read csv %s row %d col %d: %w", name, i+1, j, err)
 				}

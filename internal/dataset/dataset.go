@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"dfpc/internal/bitset"
 )
@@ -48,6 +49,20 @@ var Missing = math.NaN()
 
 // IsMissing reports whether a cell value is the missing sentinel.
 func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// parseFiniteFloat parses a numeric cell, rejecting NaN and ±Inf: NaN
+// would silently collide with the Missing sentinel and infinities break
+// discretization, so parsers must error on them instead of storing them.
+func parseFiniteFloat(cell string) (float64, error) {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite numeric value %q", cell)
+	}
+	return v, nil
+}
 
 // Dataset is a labelled tabular dataset. Each row stores, per attribute,
 // either the numeric value (Numeric) or the category index (Categorical,

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The fuzz targets assert one property: the parsers return an error for
+// malformed input — they never panic and never return a Dataset that
+// fails Validate. Crashers found by earlier runs (non-finite numerics
+// aliasing the Missing sentinel, duplicate attribute names, unbounded
+// LUCS item numbers) are pinned by the regression tests in
+// harden_test.go and by the seed corpora under testdata/fuzz/.
+
+// fuzzInputCap skips oversized inputs so the mutator spends its budget
+// on structure rather than on allocating huge but well-formed tables.
+const fuzzInputCap = 64 << 10
+
+func FuzzParseARFF(f *testing.F) {
+	f.Add([]byte("@relation t\n@attribute a numeric\n@attribute c {x,y}\n@data\n1,x\n2,y\n"))
+	f.Add([]byte("@relation t\n@attribute a {p,q}\n@attribute b numeric\n@attribute c {x,y}\n@data\np,1.5,x\n?,?,y\n"))
+	f.Add([]byte("@relation t\n@attribute 'a b' real\n@attribute c {x}\n@data\n-3e2,x\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			t.Skip("oversized input")
+		}
+		d, err := ReadARFF(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadARFF returned invalid dataset: %v", verr)
+		}
+		checkFinite(t, d)
+	})
+}
+
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte("a,b,class\n1,x,pos\n2,y,neg\n"))
+	f.Add([]byte("a,b,class\n?,x,pos\n3.5,?,neg\n"))
+	f.Add([]byte("a,class\nNaN,pos\n1,neg\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			t.Skip("oversized input")
+		}
+		d, err := ReadCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadCSV returned invalid dataset: %v", verr)
+		}
+		checkFinite(t, d)
+	})
+}
+
+func FuzzParseLUCS(f *testing.F) {
+	f.Add([]byte("1 3 5\n2 4 5\n1 2 6\n"))
+	f.Add([]byte("1 2 3 10\n4 5 11\n"))
+	f.Add([]byte("7\n")) // class-only lines are rejected
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			t.Skip("oversized input")
+		}
+		d, err := ReadLUCS(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadLUCS returned invalid dataset: %v", verr)
+		}
+		if len(d.Attrs) > maxLUCSItem {
+			t.Fatalf("ReadLUCS allocated %d attributes, cap is %d", len(d.Attrs), maxLUCSItem)
+		}
+		// LUCS output is fully categorical, so binary encoding must work.
+		if _, err := Encode(d); err != nil {
+			t.Fatalf("Encode of valid LUCS dataset failed: %v", err)
+		}
+	})
+}
+
+// checkFinite asserts no accepted cell holds an infinity: NaN is the
+// Missing sentinel (skipped by IsMissing), anything else must be finite.
+func checkFinite(t *testing.T, d *Dataset) {
+	t.Helper()
+	for i, row := range d.Rows {
+		for j, v := range row {
+			if IsMissing(v) {
+				continue
+			}
+			if math.IsInf(v, 0) {
+				t.Fatalf("row %d attr %d: stored non-finite value %v", i, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for parser crashers: each malformed input class must
+// produce an error, never a panic and never a silently corrupt Dataset.
+
+func TestReadARFFRejectsNonFiniteNumerics(t *testing.T) {
+	for _, cell := range []string{"NaN", "Inf", "+Inf", "-Inf", "Infinity"} {
+		in := "@relation t\n@attribute a numeric\n@attribute c {x,y}\n@data\n" + cell + ",x\n1,y\n"
+		if _, err := ReadARFF(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadARFF accepted non-finite numeric %q", cell)
+		}
+	}
+}
+
+func TestReadARFFRejectsDuplicateAttributeNames(t *testing.T) {
+	in := "@relation t\n@attribute a numeric\n@attribute a numeric\n@attribute c {x}\n@data\n1,2,x\n"
+	if _, err := ReadARFF(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadARFF accepted duplicate attribute names")
+	}
+}
+
+func TestReadCSVDemotesNonFiniteColumns(t *testing.T) {
+	// A column containing "NaN" must not be inferred numeric: NaN would
+	// alias the Missing sentinel. It becomes categorical instead.
+	d, err := ReadCSV(strings.NewReader("a,class\nNaN,pos\n1,neg\n"), "t")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if d.Attrs[0].Kind != Categorical {
+		t.Fatalf("column with NaN cell inferred as %v, want categorical", d.Attrs[0].Kind)
+	}
+	if got := d.Attrs[0].Values; len(got) != 2 || got[0] != "NaN" || got[1] != "1" {
+		t.Fatalf("categorical values = %v, want [NaN 1]", got)
+	}
+}
+
+func TestReadCSVRejectsDuplicateColumnNames(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,a,class\n1,2,pos\n"), "t"); err == nil {
+		t.Fatal("ReadCSV accepted duplicate column names")
+	}
+}
+
+func TestReadLUCSRejectsOversizedItems(t *testing.T) {
+	// Two-token line whose body item exceeds the cap: without the bound
+	// the parser would allocate one attribute per item number.
+	in := "1048577 1048578\n"
+	if _, err := ReadLUCS(strings.NewReader(in), "t"); err == nil {
+		t.Fatal("ReadLUCS accepted an item beyond maxLUCSItem")
+	}
+}
+
+func TestReadLUCSRejectsNonAscendingItems(t *testing.T) {
+	if _, err := ReadLUCS(strings.NewReader("3 2 9\n"), "t"); err == nil {
+		t.Fatal("ReadLUCS accepted non-ascending items")
+	}
+}

@@ -19,6 +19,11 @@ import (
 // per non-class item; a transaction's absent items become missing
 // cells, so the binary encoding reproduces the original transactions
 // exactly (one binary item per LUCS item).
+// maxLUCSItem bounds item numbers accepted by ReadLUCS. The parser
+// allocates one attribute per item up to the largest body item, so an
+// unbounded item number would let a two-token line demand gigabytes.
+const maxLUCSItem = 1 << 20
+
 func ReadLUCS(r io.Reader, name string) (*Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -43,6 +48,9 @@ func ReadLUCS(r io.Reader, name string) (*Dataset, error) {
 			v, err := strconv.Atoi(f)
 			if err != nil || v < 1 {
 				return nil, fmt.Errorf("lucs %s line %d: bad item %q", name, lineNo, f)
+			}
+			if v > maxLUCSItem {
+				return nil, fmt.Errorf("lucs %s line %d: item %d exceeds the %d item cap", name, lineNo, v, maxLUCSItem)
 			}
 			items[i] = v
 		}

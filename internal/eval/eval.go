@@ -4,11 +4,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -21,6 +23,16 @@ type Pipeline interface {
 	Fit(d *dataset.Dataset, rows []int) error
 	// Predict returns predicted class indices for the given rows.
 	Predict(d *dataset.Dataset, rows []int) ([]int, error)
+}
+
+// ContextPipeline is the optional cancellable variant of Pipeline.
+// When a pipeline passed to CrossValidateContext also implements it,
+// the harness calls the context-aware methods so cancellation reaches
+// into mining and learning instead of only between folds.
+// core.Pipeline implements it.
+type ContextPipeline interface {
+	FitContext(ctx context.Context, d *dataset.Dataset, rows []int) error
+	PredictContext(ctx context.Context, d *dataset.Dataset, rows []int) ([]int, error)
 }
 
 // Accuracy returns the fraction of positions where pred equals truth.
@@ -58,14 +70,45 @@ func ConfusionMatrix(pred, truth []int, numClasses int) ([][]int, error) {
 	return m, nil
 }
 
-// CVResult summarizes a cross-validation run.
+// CVResult summarizes a cross-validation run. When folds were isolated
+// with ContinueOnError, FoldAccuracies, Mean, and Std cover only the
+// completed folds; Failures records the rest.
 type CVResult struct {
 	FoldAccuracies []float64
 	Mean           float64
 	Std            float64
 	TrainTime      time.Duration // summed over folds
 	TestTime       time.Duration
+	// Completed is the number of folds that finished; it equals
+	// len(FoldAccuracies) and is len(folds)−len(Failures).
+	Completed int
+	// Failures records the folds that errored or panicked (empty for a
+	// clean run, and always empty without CVOptions.ContinueOnError).
+	Failures []FoldError
 }
+
+// FoldError records one failed cross-validation fold.
+type FoldError struct {
+	// Fold is the 1-based fold number.
+	Fold int
+	// Err is the fold's failure; for a recovered panic it wraps the
+	// panic value.
+	Err error
+	// Panicked marks failures recovered from a panic rather than a
+	// returned error.
+	Panicked bool
+}
+
+func (e FoldError) Error() string {
+	kind := "error"
+	if e.Panicked {
+		kind = "panic"
+	}
+	return fmt.Sprintf("fold %d %s: %v", e.Fold, kind, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e FoldError) Unwrap() error { return e.Err }
 
 // ProgressFunc is notified after each completed cross-validation fold:
 // fold is 1-based, total is the fold count, elapsed covers the fold's
@@ -81,6 +124,14 @@ type CVOptions struct {
 	Obs *obs.Observer
 	// Progress, when non-nil, is called after every fold.
 	Progress ProgressFunc
+	// ContinueOnError isolates folds: an erroring or panicking fold is
+	// recorded in CVResult.Failures and the remaining folds still run.
+	// Mean/Std are then honest statistics over the completed folds
+	// only. Context cancellation still aborts the whole run — a
+	// canceled fold is not an isolated failure. Without it, the first
+	// fold failure aborts the run (panics are still recovered into the
+	// returned error rather than crashing the caller).
+	ContinueOnError bool
 }
 
 // CrossValidate runs stratified k-fold cross validation of the pipeline
@@ -93,37 +144,87 @@ func CrossValidate(p Pipeline, d *dataset.Dataset, k int, seed int64) (*CVResult
 
 // CrossValidateOpt is CrossValidate with per-fold observability.
 func CrossValidateOpt(p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVOptions) (*CVResult, error) {
+	return CrossValidateContext(context.Background(), p, d, k, seed, opt)
+}
+
+// runFold executes one fold end to end, converting panics in the
+// pipeline into errors so a single bad fold cannot crash a CV sweep.
+func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []int,
+	res *CVResult) (acc float64, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("recovered panic: %v", r)
+		}
+	}()
+	cp, _ := p.(ContextPipeline)
+	t0 := time.Now()
+	if cp != nil {
+		err = cp.FitContext(ctx, d, train)
+	} else {
+		err = p.Fit(d, train)
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("fit: %w", err)
+	}
+	res.TrainTime += time.Since(t0)
+	t0 = time.Now()
+	var pred []int
+	if cp != nil {
+		pred, err = cp.PredictContext(ctx, d, test)
+	} else {
+		pred, err = p.Predict(d, test)
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("predict: %w", err)
+	}
+	res.TestTime += time.Since(t0)
+	truth := make([]int, len(test))
+	for i, r := range test {
+		truth[i] = d.Labels[r]
+	}
+	acc, err = Accuracy(pred, truth)
+	return acc, false, err
+}
+
+// CrossValidateContext is CrossValidateOpt under a context. The context
+// applies to the whole run: cancellation aborts between and (for
+// pipelines implementing ContextPipeline) inside folds, regardless of
+// opt.ContinueOnError. With opt.ContinueOnError, non-cancellation fold
+// failures are isolated into CVResult.Failures and the remaining folds
+// still run; if no fold completes, the returned error satisfies
+// errors.Is(err, guard.ErrPartialResult).
+func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVOptions) (*CVResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	folds, err := dataset.StratifiedKFold(d.Labels, d.NumClasses(), k, seed)
 	if err != nil {
 		return nil, err
 	}
 	res := &CVResult{}
 	for f := range folds {
+		if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
+			return nil, err
+		}
 		train, test := dataset.TrainTestFromFolds(folds, f)
 		sp := opt.Obs.Start("cv-fold").
 			Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
 		foldStart := time.Now()
-		t0 := time.Now()
-		if err := p.Fit(d, train); err != nil {
-			sp.End()
-			return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
-		}
-		res.TrainTime += time.Since(t0)
-		t0 = time.Now()
-		pred, err := p.Predict(d, test)
+		acc, panicked, err := runFold(ctx, p, d, train, test, res)
 		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("eval: fold %d predict: %w", f, err)
-		}
-		res.TestTime += time.Since(t0)
-		truth := make([]int, len(test))
-		for i, r := range test {
-			truth[i] = d.Labels[r]
-		}
-		acc, err := Accuracy(pred, truth)
-		if err != nil {
-			sp.End()
-			return nil, err
+			sp.Attr("error", err.Error()).End()
+			// Cancellation is a run-level event, not a fold defect:
+			// stop even under ContinueOnError.
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("eval: fold %d: %w", f+1, err)
+			}
+			if !opt.ContinueOnError {
+				return nil, fmt.Errorf("eval: fold %d: %w", f+1, err)
+			}
+			res.Failures = append(res.Failures, FoldError{Fold: f + 1, Err: err, Panicked: panicked})
+			opt.Obs.Counter("cv.fold_failures").Inc()
+			continue
 		}
 		sp.Attr("accuracy", fmt.Sprintf("%.4f", acc)).End()
 		res.FoldAccuracies = append(res.FoldAccuracies, acc)
@@ -131,7 +232,12 @@ func CrossValidateOpt(p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVO
 			opt.Progress(f+1, len(folds), time.Since(foldStart), acc)
 		}
 	}
+	res.Completed = len(res.FoldAccuracies)
 	res.Mean, res.Std = meanStd(res.FoldAccuracies)
+	if res.Completed == 0 && len(res.Failures) > 0 {
+		return res, fmt.Errorf("eval: all %d folds failed (first: %w): %w",
+			len(res.Failures), res.Failures[0], guard.ErrPartialResult)
+	}
 	return res, nil
 }
 

@@ -161,7 +161,10 @@ func RunAblationRedundancy(name string, minSup float64, folds int) ([]AblationRo
 	}
 	// First, find how many features MMRFS selects so top-k gets the
 	// same budget.
-	mmrfs := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: minSup, Coverage: 3}.withDefaults())
+	mmrfs, err := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: minSup, Coverage: 3}.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("redundancy ablation %s: %w", name, err)
+	}
 	res, err := eval.CrossValidate(mmrfs, d, folds, Seed)
 	if err != nil {
 		return nil, fmt.Errorf("redundancy ablation %s mmrfs: %w", name, err)
@@ -269,7 +272,10 @@ func RunAblationRelevance(name string, minSup float64, folds int) ([]AblationRow
 	var rows []AblationRow
 	for _, rel := range []featsel.Relevance{featsel.InfoGain, featsel.Fisher} {
 		cfg := core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: minSup, Relevance: rel}
-		p := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		p, err := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		if err != nil {
+			return rows, fmt.Errorf("relevance ablation %s/%v: %w", name, rel, err)
+		}
 		res, err := eval.CrossValidate(p, d, folds, Seed)
 		if err != nil {
 			return rows, fmt.Errorf("relevance ablation %s/%v: %w", name, rel, err)
@@ -291,7 +297,10 @@ func RunAblationCoverage(name string, minSup float64, deltas []int, folds int) (
 	var rows []AblationRow
 	for _, delta := range deltas {
 		cfg := core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: minSup, Coverage: delta}
-		p := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		p, err := mk(func() (*core.Pipeline, error) { return core.New(cfg) })
+		if err != nil {
+			return rows, fmt.Errorf("coverage ablation %s/δ=%d: %w", name, delta, err)
+		}
 		res, err := eval.CrossValidate(p, d, folds, Seed)
 		if err != nil {
 			return rows, fmt.Errorf("coverage ablation %s/δ=%d: %w", name, delta, err)
@@ -314,9 +323,12 @@ func RunAblationMinSupStrategy(name string, handSet []float64, folds int) ([]Abl
 	if folds <= 0 {
 		folds = 5
 	}
-	auto := mk(func() (*core.Pipeline, error) {
+	auto, err := mk(func() (*core.Pipeline, error) {
 		return core.New(core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: -1})
 	})
+	if err != nil {
+		return nil, fmt.Errorf("strategy ablation %s auto: %w", name, err)
+	}
 	res, err := eval.CrossValidate(auto, d, folds, Seed)
 	if err != nil {
 		return nil, fmt.Errorf("strategy ablation %s auto: %w", name, err)
@@ -327,7 +339,10 @@ func RunAblationMinSupStrategy(name string, handSet []float64, folds int) ([]Abl
 		Features: auto.Stats.FeatureCount, Accuracy: 100 * res.Mean,
 	}}
 	for _, ms := range handSet {
-		p := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: ms}.withDefaults())
+		p, err := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: ms}.withDefaults())
+		if err != nil {
+			return rows, fmt.Errorf("strategy ablation %s/%v: %w", name, ms, err)
+		}
 		r, err := eval.CrossValidate(p, d, folds, Seed)
 		if err != nil {
 			return rows, fmt.Errorf("strategy ablation %s/%v: %w", name, ms, err)

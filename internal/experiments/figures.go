@@ -218,7 +218,10 @@ func RunMinSupSweep(name string, minSups []float64, folds int) ([]MinSupSweepRow
 	}
 	var rows []MinSupSweepRow
 	for _, ms := range minSups {
-		p := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: ms, Folds: folds}.withDefaults())
+		p, err := pipelineFor("Pat_FS", core.SVMLinear, Protocol{MinSupport: ms, Folds: folds}.withDefaults())
+		if err != nil {
+			return rows, fmt.Errorf("minsup sweep %s@%v: %w", name, ms, err)
+		}
 		res, err := eval.CrossValidate(p, d, folds, Seed)
 		if err != nil {
 			return rows, fmt.Errorf("minsup sweep %s@%v: %w", name, ms, err)

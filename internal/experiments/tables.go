@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,19 @@ type Protocol struct {
 	MinSupport float64
 	// Coverage is MMRFS's δ.
 	Coverage int
+	// Ctx, when non-nil, makes every CV run cancellable; a canceled or
+	// expired context aborts the sweep with the partial rows collected
+	// so far.
+	Ctx context.Context
+	// StageTimeout bounds each pipeline stage within every fit
+	// (0 = unbounded).
+	StageTimeout time.Duration
+	// OnBudget selects the mining pattern-budget policy
+	// (core.DegradeOnBudget escalates min_sup instead of failing).
+	OnBudget core.BudgetPolicy
+	// ContinueOnError isolates failing CV folds: a table cell is then
+	// the mean over the completed folds instead of aborting the sweep.
+	ContinueOnError bool
 }
 
 func (p Protocol) withDefaults() Protocol {
@@ -95,26 +109,43 @@ func minSupFor(name string, proto Protocol) float64 {
 	return 0.15
 }
 
-func cv(p *core.Pipeline, d *dataset.Dataset, folds int) (float64, error) {
-	res, err := eval.CrossValidate(p, d, folds, Seed)
+// cvProto cross-validates under the protocol's context and fold-
+// isolation settings and returns the mean accuracy in percent.
+func cvProto(p *core.Pipeline, d *dataset.Dataset, proto Protocol) (float64, error) {
+	res, err := eval.CrossValidateContext(proto.Ctx, p, d, proto.Folds, Seed, eval.CVOptions{
+		ContinueOnError: proto.ContinueOnError,
+	})
 	if err != nil {
 		return 0, err
 	}
 	return 100 * res.Mean, nil
 }
 
-func mk(f func() (*core.Pipeline, error)) *core.Pipeline {
+func cv(p *core.Pipeline, d *dataset.Dataset, folds int) (float64, error) {
+	return cvProto(p, d, Protocol{Folds: folds})
+}
+
+// mk wraps a pipeline constructor, annotating its error. Callers must
+// propagate the error; a bad configuration fails the experiment row
+// instead of panicking the whole sweep.
+func mk(f func() (*core.Pipeline, error)) (*core.Pipeline, error) {
 	p, err := f()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: build pipeline: %w", err)
 	}
-	return p
+	return p, nil
 }
 
 // pipelineFor builds one model-family pipeline with the protocol's
 // parameters.
-func pipelineFor(family string, learner core.Learner, proto Protocol) *core.Pipeline {
-	cfg := core.Config{Learner: learner, Coverage: proto.Coverage, MinSupport: proto.MinSupport}
+func pipelineFor(family string, learner core.Learner, proto Protocol) (*core.Pipeline, error) {
+	cfg := core.Config{
+		Learner:      learner,
+		Coverage:     proto.Coverage,
+		MinSupport:   proto.MinSupport,
+		StageTimeout: proto.StageTimeout,
+		OnBudget:     proto.OnBudget,
+	}
 	switch family {
 	case "Item_FS":
 		cfg.SelectItems = true
@@ -152,8 +183,11 @@ func RunTable1(names []string, proto Protocol) ([]Table1Row, error) {
 			{"Pat_All", &row.PatAll},
 			{"Pat_FS", &row.PatFS},
 		} {
-			p := pipelineFor(fam.name, core.SVMLinear, dsProto)
-			acc, err := cv(p, d, proto.Folds)
+			p, err := pipelineFor(fam.name, core.SVMLinear, dsProto)
+			if err != nil {
+				return rows, fmt.Errorf("table1 %s/%s: %w", name, fam.name, err)
+			}
+			acc, err := cvProto(p, d, dsProto)
 			if err != nil {
 				return rows, fmt.Errorf("table1 %s/%s: %w", name, fam.name, err)
 			}
@@ -185,8 +219,11 @@ func RunTable2(names []string, proto Protocol) ([]Table2Row, error) {
 			{"Pat_All", &row.PatAll},
 			{"Pat_FS", &row.PatFS},
 		} {
-			p := pipelineFor(fam.name, core.C45Tree, dsProto)
-			acc, err := cv(p, d, proto.Folds)
+			p, err := pipelineFor(fam.name, core.C45Tree, dsProto)
+			if err != nil {
+				return rows, fmt.Errorf("table2 %s/%s: %w", name, fam.name, err)
+			}
+			acc, err := cvProto(p, d, dsProto)
 			if err != nil {
 				return rows, fmt.Errorf("table2 %s/%s: %w", name, fam.name, err)
 			}
@@ -248,6 +285,9 @@ type ScalabilityConfig struct {
 	// the row infeasible, like the paper's "cannot complete in days"
 	// note for min_sup = 1 (default 2 minutes).
 	MaxMiningTime time.Duration
+	// Ctx, when non-nil, makes the sweep cancellable; unlike the
+	// per-row MaxMiningTime, cancellation aborts the whole run.
+	Ctx context.Context
 }
 
 func (c ScalabilityConfig) withDefaults() ScalabilityConfig {
@@ -310,8 +350,13 @@ func RunScalability(cfg ScalabilityConfig) ([]ScalabilityRow, error) {
 			MaxPatterns: cfg.MaxPatterns,
 			MaxLen:      cfg.MaxLen,
 			MinLen:      2,
+			Ctx:         cfg.Ctx,
 			Deadline:    t0.Add(cfg.MaxMiningTime),
 		})
+		if err != nil && cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			// Run-level cancellation, not a per-row infeasibility.
+			return rows, fmt.Errorf("scalability %s min_sup=%d: %w", cfg.Dataset, abs, err)
+		}
 		if errors.Is(err, mining.ErrPatternBudget) || errors.Is(err, mining.ErrDeadline) {
 			row.Infeasible = true
 			row.Patterns = -1
@@ -448,9 +493,12 @@ func RunHarmonyComparison(names []string, minSup float64, sampleRows int) ([]Har
 		}
 		row := HarmonyRow{Dataset: name}
 
-		patFS := mk(func() (*core.Pipeline, error) {
+		patFS, err := mk(func() (*core.Pipeline, error) {
 			return core.New(core.Config{UsePatterns: true, SelectPatterns: true, MinSupport: minSup})
 		})
+		if err != nil {
+			return rows, fmt.Errorf("harmony %s Pat_FS: %w", name, err)
+		}
 		acc, err := eval.HoldOut(patFS, d, trainRows, testRows)
 		if err != nil {
 			return rows, fmt.Errorf("harmony %s Pat_FS: %w", name, err)

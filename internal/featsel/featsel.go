@@ -7,11 +7,14 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dfpc/internal/bitset"
+	"dfpc/internal/guard"
 	"dfpc/internal/measures"
 	"dfpc/internal/obs"
 )
@@ -60,6 +63,12 @@ type Options struct {
 	// MaxFeatures optionally caps the number of selected features;
 	// 0 means unbounded (the coverage constraint decides).
 	MaxFeatures int
+	// Ctx, when non-nil, makes the greedy loop cancellable; selection
+	// aborts with an error satisfying errors.Is(err, guard.ErrCanceled)
+	// (or guard.ErrDeadline). Nil costs nothing.
+	Ctx context.Context
+	// Deadline aborts selection once passed (0 = none).
+	Deadline time.Time
 	// Obs, when non-nil, records the MMRFS span, iteration/selection
 	// counters, and the final coverage residual. Nil disables recording.
 	Obs *obs.Observer
@@ -142,6 +151,10 @@ func majorityClass(cov *bitset.Bitset, classMasks []*bitset.Bitset) int {
 // exhausted.
 func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	g := guard.New(opt.Ctx, guard.Limits{Deadline: opt.Deadline})
+	if err := g.CheckNow(); err != nil {
+		return nil, err
+	}
 	n := len(labels)
 	for i, c := range cands {
 		if c.Cover == nil || c.Cover.Len() != n {
@@ -238,6 +251,12 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 	iterations := opt.Obs.Counter("mmrfs.iterations")
 	dropped := 0
 	for {
+		// Each iteration scans the whole candidate pool (pick + add are
+		// O(|F|)), so poll the guard eagerly rather than amortized.
+		if err := g.CheckNow(); err != nil {
+			sp.End()
+			return nil, err
+		}
 		if opt.MaxFeatures > 0 && len(res.Selected) >= opt.MaxFeatures {
 			break
 		}

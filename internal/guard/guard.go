@@ -1,0 +1,165 @@
+// Package guard is the pipeline's bounded-execution substrate: a small
+// sentinel-error taxonomy shared by every long-running stage plus a
+// cooperative execution guard that combines context cancellation, a
+// wall-clock deadline, and a soft memory watchdog behind one amortized
+// Check call.
+//
+// Like the obs package, guard is built around a nil fast path: a nil
+// *Guard is a valid disabled guard whose Check/CheckNow are nil-check
+// no-ops, so instrumented loops thread a possibly-nil guard through
+// unconditionally. New returns nil when the context carries no
+// cancellation signal and no limit is set, which keeps the
+// no-context/no-limit configuration free.
+//
+// Placement rule for miners and learners (followed by every stage in
+// this repo; future miners must do the same): call Check at every
+// recursion entry and once per emitted pattern / loop iteration, and
+// CheckNow at stage entry so a pre-canceled context fails fast. Check
+// amortizes the real poll to one in every checkEvery calls, so it is
+// cheap enough for hot loops.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// The sentinel taxonomy. All guard-produced errors wrap one of these,
+// so callers dispatch with errors.Is regardless of how many fmt.Errorf
+// layers the pipeline added on the way up.
+var (
+	// ErrCanceled marks work aborted by context cancellation.
+	ErrCanceled = errors.New("guard: canceled")
+	// ErrDeadline marks work aborted by a wall-clock deadline (a stage
+	// timeout or a context deadline).
+	ErrDeadline = errors.New("guard: deadline exceeded")
+	// ErrMemoryLimit marks work aborted by the soft allocation
+	// watchdog.
+	ErrMemoryLimit = errors.New("guard: memory limit exceeded")
+	// ErrDegraded marks a result produced (or a failure reached) after
+	// the pipeline traded fidelity for feasibility — e.g. adaptive
+	// min_sup escalation that still could not fit the pattern budget.
+	ErrDegraded = errors.New("guard: degraded execution")
+	// ErrPartialResult marks an aggregate result in which every
+	// component failed, leaving nothing to aggregate honestly.
+	ErrPartialResult = errors.New("guard: no complete partial results")
+)
+
+// Limits bounds one guarded stage.
+type Limits struct {
+	// Deadline aborts work with ErrDeadline once passed. Zero means no
+	// deadline.
+	Deadline time.Time
+	// Timeout, when positive, is a convenience for Deadline =
+	// now+Timeout at New time; the earlier of the two wins.
+	Timeout time.Duration
+	// SoftMemoryBytes aborts work with ErrMemoryLimit once the Go
+	// heap's live allocation exceeds it. Zero disables the watchdog.
+	// The ceiling is soft: it is polled amortized, so overshoot by one
+	// poll interval's worth of allocation is possible.
+	SoftMemoryBytes uint64
+}
+
+// Guard is a cooperative execution guard for one single-goroutine
+// stage. The zero of its pointer type (nil) is a valid disabled guard.
+// A Guard is NOT safe for concurrent use; give each goroutine its own
+// (guards are cheap — derive several from the same context).
+type Guard struct {
+	ctx      context.Context
+	done     <-chan struct{}
+	deadline time.Time
+	memLimit uint64
+
+	calls   uint32
+	memTick uint32
+}
+
+// checkEvery is the amortization window of Check: one real poll per
+// checkEvery calls.
+const checkEvery = 256
+
+// memCheckEvery throttles the (comparatively expensive) MemStats read
+// to one per memCheckEvery real polls.
+const memCheckEvery = 16
+
+// New builds a guard from a context plus limits. It returns nil — the
+// disabled fast path — when ctx carries no cancellation signal and no
+// limit is set. A nil ctx is treated as context.Background().
+func New(ctx context.Context, lim Limits) *Guard {
+	deadline := lim.Deadline
+	if lim.Timeout > 0 {
+		if t := time.Now().Add(lim.Timeout); deadline.IsZero() || t.Before(deadline) {
+			deadline = t
+		}
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	if done == nil && deadline.IsZero() && lim.SoftMemoryBytes == 0 {
+		return nil
+	}
+	return &Guard{ctx: ctx, done: done, deadline: deadline, memLimit: lim.SoftMemoryBytes}
+}
+
+// Enabled reports whether the guard performs any checking.
+func (g *Guard) Enabled() bool { return g != nil }
+
+// Check polls the guard's conditions once every checkEvery calls and
+// reports the first violated one. Call it at recursion entries and loop
+// iterations; between polls it is a nil check plus one counter
+// increment.
+func (g *Guard) Check() error {
+	if g == nil {
+		return nil
+	}
+	g.calls++
+	if g.calls%checkEvery != 0 {
+		return nil
+	}
+	return g.CheckNow()
+}
+
+// CheckNow polls the guard's conditions immediately: context first,
+// then deadline, then (throttled) the memory watchdog. Call it at stage
+// entry so pre-canceled contexts fail before any work is done.
+func (g *Guard) CheckNow() error {
+	if g == nil {
+		return nil
+	}
+	if g.done != nil {
+		select {
+		case <-g.done:
+			if errors.Is(g.ctx.Err(), context.DeadlineExceeded) {
+				return fmt.Errorf("%w: %w", ErrDeadline, g.ctx.Err())
+			}
+			return fmt.Errorf("%w: %w", ErrCanceled, g.ctx.Err())
+		default:
+		}
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return fmt.Errorf("%w (deadline %s)", ErrDeadline, g.deadline.Format(time.RFC3339Nano))
+	}
+	if g.memLimit > 0 {
+		g.memTick++
+		if g.memTick%memCheckEvery == 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > g.memLimit {
+				return fmt.Errorf("%w (heap %d > limit %d bytes)", ErrMemoryLimit, ms.HeapAlloc, g.memLimit)
+			}
+		}
+	}
+	return nil
+}
+
+// Deadline returns the guard's effective deadline (zero when none).
+func (g *Guard) Deadline() time.Time {
+	if g == nil {
+		return time.Time{}
+	}
+	return g.deadline
+}

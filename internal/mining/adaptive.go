@@ -1,0 +1,100 @@
+package mining
+
+import (
+	"errors"
+	"fmt"
+
+	"dfpc/internal/dataset"
+	"dfpc/internal/guard"
+)
+
+// Backoff configures the adaptive min_sup escalation used by
+// MinePerClassAdaptive when a run exhausts its pattern budget. Each
+// retry multiplies the relative minimum support by Factor, shrinking
+// the pattern space geometrically until the budget fits.
+type Backoff struct {
+	// Factor multiplies min_sup on each retry (default 2).
+	Factor float64
+	// MaxRetries bounds the number of escalations (default 4).
+	MaxRetries int
+	// MaxMinSupport caps the escalated support; climbing past it fails
+	// instead of degrading further (default 0.5).
+	MaxMinSupport float64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (b Backoff) withDefaults() Backoff {
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.MaxRetries <= 0 {
+		b.MaxRetries = 4
+	}
+	if b.MaxMinSupport <= 0 || b.MaxMinSupport > 1 {
+		b.MaxMinSupport = 0.5
+	}
+	return b
+}
+
+// Degradation records one min_sup escalation performed by
+// MinePerClassAdaptive. Callers surface these as warnings so degraded
+// runs stay distinguishable from clean ones.
+type Degradation struct {
+	// Attempt is the 1-based retry number that triggered this record.
+	Attempt int
+	// FromMinSupport and ToMinSupport are the relative supports before
+	// and after the escalation.
+	FromMinSupport float64
+	ToMinSupport   float64
+	// PatternsAtFailure is how many patterns the failed attempt had
+	// produced when it hit the budget.
+	PatternsAtFailure int
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("attempt %d: pattern budget hit at %d patterns, min_sup %.4g -> %.4g",
+		d.Attempt, d.PatternsAtFailure, d.FromMinSupport, d.ToMinSupport)
+}
+
+// MinePerClassAdaptive runs MinePerClass and, when the run trips
+// ErrPatternBudget, escalates the relative minimum support
+// geometrically and re-mines, up to bk.MaxRetries times. It returns
+// the mined patterns, the degradations performed (empty for a clean
+// run), and the min_sup that finally succeeded.
+//
+// Non-budget errors (cancellation, deadlines, memory pressure, bad
+// options) are returned unchanged. Exhausting the retries — or
+// climbing past bk.MaxMinSupport — returns an error wrapping both
+// ErrPatternBudget and guard.ErrDegraded, so callers can distinguish
+// "degradation was attempted and still failed" from a plain budget
+// trip under a Fail policy.
+func MinePerClassAdaptive(b *dataset.Binary, opt PerClassOptions, bk Backoff) ([]Pattern, []Degradation, float64, error) {
+	bk = bk.withDefaults()
+	degradations := opt.Obs.Counter("mine.degradations")
+	var degs []Degradation
+	sup := opt.MinSupport
+	for attempt := 0; ; attempt++ {
+		opt.MinSupport = sup
+		ps, err := MinePerClass(b, opt)
+		if err == nil {
+			return ps, degs, sup, nil
+		}
+		if !errors.Is(err, ErrPatternBudget) {
+			return ps, degs, sup, err
+		}
+		next := sup * bk.Factor
+		if attempt >= bk.MaxRetries || next > bk.MaxMinSupport {
+			return ps, degs, sup, fmt.Errorf(
+				"mining: %w after %d min_sup escalation(s) (min_sup %.4g, budget %d): %w",
+				guard.ErrDegraded, attempt, sup, opt.MaxPatterns, err)
+		}
+		degs = append(degs, Degradation{
+			Attempt:           attempt + 1,
+			FromMinSupport:    sup,
+			ToMinSupport:      next,
+			PatternsAtFailure: len(ps),
+		})
+		degradations.Inc()
+		sup = next
+	}
+}

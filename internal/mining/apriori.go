@@ -11,6 +11,10 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	g := opt.guard()
+	if err := g.CheckNow(); err != nil {
+		return nil, err
+	}
 	var out []Pattern
 	candCounter := opt.Obs.Counter("mine.apriori_candidates")
 	emitted := opt.Obs.Counter("mine.patterns_emitted")
@@ -46,9 +50,13 @@ func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 			break
 		}
 		candCounter.Add(int64(len(cands)))
-		// Count candidate support with one pass over the transactions.
+		// Count candidate support with one pass over the transactions;
+		// the guard polls per transaction (the level's dominant loop).
 		candCount := make([]int, len(cands))
 		for _, t := range tx {
+			if err := g.Check(); err != nil {
+				return out, err
+			}
 			if len(t) < k {
 				continue
 			}

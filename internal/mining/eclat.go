@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dfpc/internal/bitset"
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -54,9 +55,12 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 
 	m := &eclatMiner{
 		opt:     opt,
-		dc:      deadlineChecker{deadline: opt.Deadline},
+		g:       opt.guard(),
 		emitted: opt.Obs.Counter("mine.patterns_emitted"),
 		inters:  opt.Obs.Counter("mine.eclat_intersections"),
+	}
+	if err := m.g.CheckNow(); err != nil {
+		return nil, err
 	}
 	// Depth-first over prefix classes: extend each item with the items
 	// after it (ascending item order keeps patterns canonical).
@@ -67,6 +71,10 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 	}
 	var mine func(prefix []int32, class []node) error
 	mine = func(prefix []int32, class []node) error {
+		// Cooperative cancellation at every recursion entry.
+		if err := m.g.Check(); err != nil {
+			return err
+		}
 		for i, nd := range class {
 			newPrefix := append(append([]int32(nil), prefix...), nd.item)
 			if err := m.emit(newPrefix, nd.count); err != nil {
@@ -103,7 +111,7 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 type eclatMiner struct {
 	opt Options
 	out []Pattern
-	dc  deadlineChecker
+	g   *guard.Guard
 
 	emitted *obs.Counter
 	inters  *obs.Counter
@@ -113,8 +121,8 @@ func (m *eclatMiner) emit(items []int32, support int) error {
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
 		return ErrPatternBudget
 	}
-	if m.dc.expired() {
-		return ErrDeadline
+	if err := m.g.Check(); err != nil {
+		return err
 	}
 	m.out = append(m.out, Pattern{Items: append([]int32(nil), items...), Support: support})
 	m.emitted.Inc()

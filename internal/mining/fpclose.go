@@ -3,6 +3,7 @@ package mining
 import (
 	"sort"
 
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -44,10 +45,13 @@ func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
 		opt:      opt,
 		numItems: numItems,
 		index:    map[int][]itemMask{},
-		dc:       deadlineChecker{deadline: opt.Deadline},
+		g:        opt.guard(),
 		nodes:    opt.Obs.Counter("mine.fptree_nodes"),
 		emitted:  opt.Obs.Counter("mine.patterns_emitted"),
 		subsumed: opt.Obs.Counter("mine.subsumption_pruned"),
+	}
+	if err := m.g.CheckNow(); err != nil {
+		return nil, err
 	}
 	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
@@ -59,7 +63,7 @@ type closeMiner struct {
 	numItems int
 	index    map[int][]itemMask // support → masks of closed patterns found
 	out      []Pattern
-	dc       deadlineChecker
+	g        *guard.Guard
 
 	// metric hooks; all nil-safe no-ops when observability is off
 	nodes    *obs.Counter
@@ -85,8 +89,8 @@ func (m *closeMiner) emit(items []int32, support int) error {
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
 		return ErrPatternBudget
 	}
-	if m.dc.expired() {
-		return ErrDeadline
+	if err := m.g.Check(); err != nil {
+		return err
 	}
 	sorted := append([]int32(nil), items...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -97,6 +101,12 @@ func (m *closeMiner) emit(items []int32, support int) error {
 }
 
 func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
+	// Cooperative cancellation at every recursion entry: subsumption-
+	// pruned subtrees emit nothing, so an emit-only check could run a
+	// long time between polls.
+	if err := m.g.Check(); err != nil {
+		return err
+	}
 	if tree.empty() {
 		return nil
 	}

@@ -3,6 +3,7 @@ package mining
 import (
 	"sort"
 
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -21,9 +22,12 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 	}
 	m := &growthMiner{
 		opt:     opt,
-		dc:      deadlineChecker{deadline: opt.Deadline},
+		g:       opt.guard(),
 		nodes:   opt.Obs.Counter("mine.fptree_nodes"),
 		emitted: opt.Obs.Counter("mine.patterns_emitted"),
+	}
+	if err := m.g.CheckNow(); err != nil {
+		return nil, err
 	}
 	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
@@ -33,7 +37,7 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 type growthMiner struct {
 	opt Options
 	out []Pattern
-	dc  deadlineChecker
+	g   *guard.Guard
 
 	nodes   *obs.Counter
 	emitted *obs.Counter
@@ -45,8 +49,8 @@ func (m *growthMiner) emit(prefix []int32, support int) error {
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
 		return ErrPatternBudget
 	}
-	if m.dc.expired() {
-		return ErrDeadline
+	if err := m.g.Check(); err != nil {
+		return err
 	}
 	items := append([]int32(nil), prefix...)
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
@@ -56,6 +60,11 @@ func (m *growthMiner) emit(prefix []int32, support int) error {
 }
 
 func (m *growthMiner) mine(tree *fpTree, prefix []int32) error {
+	// Cooperative cancellation at every recursion entry (see the
+	// guard package's placement rule).
+	if err := m.g.Check(); err != nil {
+		return err
+	}
 	if tree.empty() {
 		return nil
 	}

@@ -7,11 +7,13 @@
 package mining
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -21,10 +23,12 @@ import (
 // rows at min_sup = 1.
 var ErrPatternBudget = errors.New("mining: pattern budget exceeded")
 
-// ErrDeadline is returned when a miner runs past Options.Deadline. Like
-// ErrPatternBudget it marks an enumeration as infeasible; the partial
-// pattern set found so far is still returned.
-var ErrDeadline = errors.New("mining: deadline exceeded")
+// ErrDeadline is returned when a miner runs past Options.Deadline (or
+// its context's deadline). Like ErrPatternBudget it marks an
+// enumeration as infeasible; the partial pattern set found so far is
+// still returned. It is an alias for guard.ErrDeadline so errors.Is
+// works across both packages.
+var ErrDeadline = guard.ErrDeadline
 
 // Pattern is a frequent itemset together with its absolute support in
 // the mined transaction set.
@@ -59,34 +63,27 @@ type Options struct {
 	MaxPatterns int
 	// MaxLen caps pattern length; 0 means unlimited.
 	MaxLen int
+	// Ctx, when non-nil, makes the run cancellable: the miners poll
+	// Ctx.Done at recursion and loop boundaries and abort with an error
+	// wrapping guard.ErrCanceled (or guard.ErrDeadline for a context
+	// deadline). Nil behaves like context.Background at no cost.
+	Ctx context.Context
 	// Deadline aborts the run with ErrDeadline once passed (checked
 	// periodically). Zero means no deadline.
 	Deadline time.Time
+	// MemLimit, when > 0, is a soft heap-allocation ceiling in bytes;
+	// exceeding it aborts the run with guard.ErrMemoryLimit.
+	MemLimit uint64
 	// Obs, when non-nil, receives mining vitals: patterns emitted,
 	// FP-tree nodes built, subsumption prunes, Eclat intersections,
 	// Apriori candidates. Nil disables recording at no cost.
 	Obs *obs.Observer
 }
 
-// deadlineChecker amortizes time checks to one per checkEvery emissions.
-type deadlineChecker struct {
-	deadline time.Time
-	counter  int
-}
-
-const checkEvery = 1024
-
-// expired reports whether the deadline has passed, polling the clock
-// only every checkEvery calls.
-func (dc *deadlineChecker) expired() bool {
-	if dc.deadline.IsZero() {
-		return false
-	}
-	dc.counter++
-	if dc.counter%checkEvery != 0 {
-		return false
-	}
-	return time.Now().After(dc.deadline)
+// guard builds the run's execution guard; nil (free) when the options
+// carry no context, deadline, or memory limit.
+func (o Options) guard() *guard.Guard {
+	return guard.New(o.Ctx, guard.Limits{Deadline: o.Deadline, SoftMemoryBytes: o.MemLimit})
 }
 
 func (o Options) validate() error {

@@ -1,10 +1,12 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -29,8 +31,13 @@ type PerClassOptions struct {
 	// classification framework sets MinLen = 2 because single items are
 	// already part of the feature space I. 0 or 1 keeps everything.
 	MinLen int
+	// Ctx, when non-nil, makes mining cancellable; see Options.Ctx.
+	Ctx context.Context
 	// Deadline aborts mining with ErrDeadline once passed (0 = none).
 	Deadline time.Time
+	// MemLimit is a soft heap-allocation ceiling in bytes (0 = none);
+	// see Options.MemLimit.
+	MemLimit uint64
 	// Obs, when non-nil, records one span per class partition plus the
 	// mining counters (see Options.Obs). Nil disables recording.
 	Obs *obs.Observer
@@ -45,6 +52,10 @@ type PerClassOptions struct {
 func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
 		return nil, fmt.Errorf("mining: relative MinSupport = %v, want (0,1]", opt.MinSupport)
+	}
+	// Fail fast on a pre-canceled context before any partition work.
+	if err := guard.New(opt.Ctx, guard.Limits{Deadline: opt.Deadline}).CheckNow(); err != nil {
+		return nil, err
 	}
 	seen := map[string]bool{}
 	var union []Pattern
@@ -66,7 +77,14 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		}
 		sp := opt.Obs.Start("mine-class").
 			Attr("class", c).Attr("rows", len(rows)).Attr("abs_min_sup", abs)
-		mopt := Options{MinSupport: abs, MaxLen: opt.MaxLen, Deadline: opt.Deadline, Obs: opt.Obs}
+		mopt := Options{
+			MinSupport: abs,
+			MaxLen:     opt.MaxLen,
+			Ctx:        opt.Ctx,
+			Deadline:   opt.Deadline,
+			MemLimit:   opt.MemLimit,
+			Obs:        opt.Obs,
+		}
 		if budget > 0 {
 			remaining := budget - len(union)
 			if remaining <= 0 {

@@ -1,8 +1,11 @@
 package svm
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
 
@@ -22,6 +25,12 @@ type Config struct {
 	// resolve the default γ = 1/numFeatures. Required for RBF/Poly with
 	// Gamma <= 0.
 	NumFeatures int
+	// Ctx, when non-nil, makes SMO iterations cancellable; training
+	// aborts with an error satisfying errors.Is(err, guard.ErrCanceled)
+	// (or guard.ErrDeadline). Nil costs nothing.
+	Ctx context.Context
+	// Deadline aborts training once passed (0 = none).
+	Deadline time.Time
 	// Obs, when non-nil, records SMO iteration and support-vector
 	// counters per Train call. Nil disables recording.
 	Obs *obs.Observer
@@ -73,6 +82,10 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("svm: numClasses = %d", numClasses)
 	}
 	cfg = cfg.withDefaults(len(x))
+	g := guard.New(cfg.Ctx, guard.Limits{Deadline: cfg.Deadline})
+	if err := g.CheckNow(); err != nil {
+		return nil, err
+	}
 	gamma := cfg.Kernel.resolveGamma(cfg.NumFeatures)
 
 	byClass := make([][]int, numClasses)
@@ -114,6 +127,7 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 				maxIter: cfg.MaxIter,
 				kernel:  cfg.Kernel,
 				gamma:   gamma,
+				g:       g,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
@@ -126,8 +140,30 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		cfg.Obs.Counter("svm.smo_iterations").Add(int64(m.Iterations()))
 		cfg.Obs.Counter("svm.support_vectors").Add(int64(m.SupportVectors()))
 		cfg.Obs.Counter("svm.binary_problems").Add(int64(len(m.pairs)))
+		if n := m.NonConverged(); n > 0 {
+			cfg.Obs.Counter("svm.nonconverged").Add(int64(n))
+		}
 	}
 	return m, nil
+}
+
+// BinaryProblems returns the number of one-vs-one binary subproblems
+// the model decomposed into (0 for single-class degenerate models).
+func (m *Model) BinaryProblems() int { return len(m.pairs) }
+
+// NonConverged returns the number of binary subproblems whose SMO solve
+// exhausted MaxIter before reaching the KKT tolerance. The model is
+// still usable (SMO improves the dual monotonically), but a non-zero
+// count means the decision boundaries may be short of optimal; callers
+// should surface it as a warning rather than an error.
+func (m *Model) NonConverged() int {
+	n := 0
+	for _, bm := range m.pairs {
+		if bm.nonConverged {
+			n++
+		}
+	}
+	return n
 }
 
 // Iterations returns the total SMO iterations across all binary

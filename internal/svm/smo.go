@@ -3,6 +3,8 @@ package svm
 import (
 	"fmt"
 	"math"
+
+	"dfpc/internal/guard"
 )
 
 // smoConfig parameterizes one binary SMO solve.
@@ -12,6 +14,7 @@ type smoConfig struct {
 	maxIter int
 	kernel  Kernel
 	gamma   float64
+	g       *guard.Guard // nil = unbounded solve
 }
 
 // binaryModel is the result of one binary C-SVC solve: the support
@@ -24,6 +27,10 @@ type binaryModel struct {
 	gamma  float64
 	iters  int
 	nBound int // support vectors at the C bound
+	// nonConverged marks a solve that exhausted maxIter before the KKT
+	// tolerance was met. The model is still usable — SMO monotonically
+	// improves the dual — but callers should surface a warning.
+	nonConverged bool
 }
 
 // decision evaluates f(x) = Σ coef_i K(sv_i, x) + b.
@@ -101,8 +108,17 @@ func trainBinary(x [][]int32, y []float64, cfg smoConfig) (*binaryModel, error) 
 		return (y[i] > 0 && alpha[i] > 0) || (y[i] < 0 && alpha[i] < cfg.c)
 	}
 
+	if err := cfg.g.CheckNow(); err != nil {
+		return nil, err
+	}
 	iters := 0
+	converged := false
 	for ; iters < cfg.maxIter; iters++ {
+		// Each iteration already scans all n rows, so an every-iteration
+		// poll is cheap relative to the work it bounds.
+		if err := cfg.g.CheckNow(); err != nil {
+			return nil, err
+		}
 		// Maximal violating pair: i maximizes −y_i∇f_i over I_up,
 		// j minimizes it over I_low.
 		i, j := -1, -1
@@ -117,6 +133,7 @@ func trainBinary(x [][]int32, y []float64, cfg smoConfig) (*binaryModel, error) 
 			}
 		}
 		if i < 0 || j < 0 || gmax-gmin < cfg.eps {
+			converged = true
 			break
 		}
 
@@ -134,6 +151,7 @@ func trainBinary(x [][]int32, y []float64, cfg smoConfig) (*binaryModel, error) 
 			// Degenerate box: mark progress impossible for this pair by
 			// nudging nothing; the violating-pair loop will pick others,
 			// but to avoid livelock treat as converged enough.
+			converged = true
 			break
 		}
 		eta := k(i, i) + k(j, j) - 2*k(i, j)
@@ -162,6 +180,7 @@ func trainBinary(x [][]int32, y []float64, cfg smoConfig) (*binaryModel, error) 
 			// Numerical corner: the maximal violating pair cannot move.
 			// With bound snapping below this should not occur; bail out
 			// rather than livelock.
+			converged = true
 			break
 		}
 		di := -s * dj
@@ -213,7 +232,7 @@ func trainBinary(x [][]int32, y []float64, cfg smoConfig) (*binaryModel, error) 
 		bias = (up + low) / 2
 	}
 
-	m := &binaryModel{kernel: cfg.kernel, gamma: cfg.gamma, bias: bias, iters: iters}
+	m := &binaryModel{kernel: cfg.kernel, gamma: cfg.gamma, bias: bias, iters: iters, nonConverged: !converged}
 	for t := 0; t < n; t++ {
 		if alpha[t] > 1e-12 {
 			m.svX = append(m.svX, x[t])

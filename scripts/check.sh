@@ -1,13 +1,23 @@
 #!/bin/sh
-# check.sh — the repo's full verification gate: vet plus the complete
-# test suite under the race detector. CI and pre-commit both run this.
+# check.sh — the repo's full verification gate: vet, the complete test
+# suite under the race detector (wall-clock bounded so a hung test fails
+# the gate instead of wedging it), and a short fuzz smoke over the
+# dataset parsers. CI and pre-commit both run this.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> go test -race ./..."
-go test -race ./...
+echo ">> go test -race -timeout 10m ./..."
+go test -race -timeout 10m ./...
+
+# Short fuzz smoke: one target per invocation (go test accepts a single
+# -fuzz pattern), ~10s each. Catches shallow parser crashers early;
+# longer hunts are a manual `go test -fuzz=FuzzParseX ./internal/dataset/`.
+for target in FuzzParseARFF FuzzParseCSV FuzzParseLUCS; do
+	echo ">> go test -fuzz=$target -fuzztime=10s ./internal/dataset/"
+	go test -run='^$' -fuzz="$target\$" -fuzztime=10s ./internal/dataset/
+done
 
 echo "OK"
