@@ -1,0 +1,109 @@
+// Command dfpc-vet runs the repo's static-analysis suite (see
+// internal/analysis) over the given package patterns and prints
+// file:line:col diagnostics, each tagged with the analyzer that
+// produced it.
+//
+// Usage:
+//
+//	dfpc-vet [-only a,b] [-skip a,b] [-list] [packages ...]
+//
+// With no patterns it analyzes ./... from the current directory.
+//
+// Exit codes are CI-actionable:
+//
+//	0  clean — every package loaded and no analyzer reported anything
+//	1  findings — at least one diagnostic (fix it or //vet:ignore it
+//	   with a reason)
+//	2  load failure — a package failed to parse or type-check; its
+//	   errors go to stderr and the remaining packages are still
+//	   analyzed (their findings still print), so one broken package
+//	   degrades the run instead of hiding everything else
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dfpc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dfpc-vet", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all enabled by default)")
+	skip := fs.String("skip", "", "comma-separated analyzers to disable")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dfpc-vet [-only a,b] [-skip a,b] [-list] [packages ...]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analysis.All {
+			def := " "
+			if a.Default {
+				def = "*"
+			}
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%s %-12s %s (scope: %s)\n", def, a.Name, summary, scope)
+		}
+		fmt.Println("\n* = enabled by default")
+		return 0
+	}
+
+	analyzers, err := analysis.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc-vet:", err)
+		return 2
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "dfpc-vet: no analyzers selected")
+		return 2
+	}
+
+	pkgs, err := analysis.Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfpc-vet:", err)
+		return 2
+	}
+
+	loadFailed := false
+	for _, p := range pkgs {
+		if len(p.Errs) > 0 {
+			loadFailed = true
+			fmt.Fprintf(os.Stderr, "dfpc-vet: %s: skipped, failed to load:\n", p.ImportPath)
+			for _, e := range p.Errs {
+				fmt.Fprintf(os.Stderr, "\t%v\n", e)
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		if wd != "" && strings.HasPrefix(d.Pos.Filename, wd+string(os.PathSeparator)) {
+			d.Pos.Filename = d.Pos.Filename[len(wd)+1:]
+		}
+		fmt.Println(d)
+	}
+
+	switch {
+	case loadFailed:
+		return 2
+	case len(diags) > 0:
+		return 1
+	default:
+		fmt.Printf("ok\t%d packages, %d analyzers, 0 findings\n", len(pkgs), len(analyzers))
+		return 0
+	}
+}

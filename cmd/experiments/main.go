@@ -158,6 +158,7 @@ type runConfig struct {
 	obs    *obs.Observer // nil unless -verbose or -report
 
 	// bounded-execution settings threaded into every experiment
+	//vet:ignore ctxfirst per-run CLI config carrier: built once in main, read-only after
 	ctx          context.Context
 	stageTimeout time.Duration
 	onBudget     core.BudgetPolicy

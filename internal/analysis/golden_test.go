@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// wantRx extracts the quoted expectations from a `// want "..." "..."`
+// comment.
+var wantRx = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var quotedRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` annotation: a diagnostic that must be
+// reported on this exact file:line with a message matching rx.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// readExpectations scans a fixture file for want comments.
+func readExpectations(t *testing.T, path string) []*expectation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	var out []*expectation
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRx.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		for _, q := range quotedRx.FindAllStringSubmatch(m[1], -1) {
+			rx, err := regexp.Compile(q[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, q[1], err)
+			}
+			out = append(out, &expectation{file: path, line: line, rx: rx})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan fixture: %v", err)
+	}
+	return out
+}
+
+// fixtureDirs lists testdata/src/<analyzer>'s fixture package dirs.
+func fixtureDirs(t *testing.T, analyzer string) []string {
+	t.Helper()
+	root := filepath.Join("testdata", "src", analyzer)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("every analyzer must ship golden fixtures under %s: %v", root, err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, "./"+filepath.ToSlash(filepath.Join(root, e.Name())))
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	return dirs
+}
+
+// TestGolden runs every registered analyzer over its fixtures and
+// demands an exact diagnostic match: every want annotation is reported
+// (no under-reporting) and every diagnostic is wanted (no
+// over-reporting).
+func TestGolden(t *testing.T) {
+	for _, a := range All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			dirs := fixtureDirs(t, a.Name)
+			pkgs, err := Load(".", dirs...)
+			if err != nil {
+				t.Fatalf("loading fixtures: %v", err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatal("no fixture packages loaded")
+			}
+			var wants []*expectation
+			positives := 0
+			for _, pkg := range pkgs {
+				for _, e := range pkg.Errs {
+					t.Errorf("fixture package %s failed to load: %v", pkg.ImportPath, e)
+				}
+				for _, f := range pkg.Files {
+					path := pkg.Fset.Position(f.Pos()).Filename
+					exps := readExpectations(t, path)
+					wants = append(wants, exps...)
+					if len(exps) > 0 {
+						positives++
+					}
+				}
+			}
+			if t.Failed() {
+				return
+			}
+			// Every analyzer needs at least one positive (flagged) and
+			// one negative (clean) fixture file.
+			if positives == 0 {
+				t.Error("no positive fixtures: nothing exercises the analyzer's reporting")
+			}
+			cleanFiles := 0
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					path := pkg.Fset.Position(f.Pos()).Filename
+					if len(readExpectations(t, path)) == 0 {
+						cleanFiles++
+					}
+				}
+			}
+			if cleanFiles == 0 {
+				t.Error("no negative fixtures: nothing guards against over-reporting")
+			}
+
+			diags := Run(pkgs, []*Analyzer{a})
+			for _, d := range diags {
+				if d.Analyzer != a.Name {
+					t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, a.Name)
+				}
+				exp := matchExpectation(wants, d.Pos.Filename, d.Pos.Line, d.Message)
+				if exp == nil {
+					t.Errorf("unexpected diagnostic (over-reporting): %s", d)
+					continue
+				}
+				exp.matched = true
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing diagnostic (under-reporting): %s:%d: want message matching %q",
+						w.file, w.line, w.rx)
+				}
+			}
+		})
+	}
+}
+
+// matchExpectation finds an unmatched want on the diagnostic's line
+// whose regexp matches the message.
+func matchExpectation(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.line == line && sameFile(w.file, file) && w.rx.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// sameFile compares paths that may differ in absolute/relative form.
+func sameFile(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Base(a) == filepath.Base(b) && filepath.Base(filepath.Dir(a)) == filepath.Base(filepath.Dir(b))
+	}
+	return aa == bb
+}
+
+// TestRunDiagnosticsSorted pins the deterministic output order the CLI
+// and CI logs rely on.
+func TestRunDiagnosticsSorted(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/floateq/measures", "./testdata/src/mathrange/measures")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := Run(pkgs, []*Analyzer{Floateq, Mathrange})
+	if len(diags) < 2 {
+		t.Fatalf("want several diagnostics, got %d", len(diags))
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column <= b.Pos.Column
+	})
+	if !sorted {
+		for _, d := range diags {
+			t.Log(d)
+		}
+		t.Error("diagnostics not sorted by file/line/column")
+	}
+	for _, d := range diags {
+		want := fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		if d.String() != want {
+			t.Errorf("String() = %q, want %q", d.String(), want)
+		}
+	}
+}

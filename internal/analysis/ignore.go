@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//vet:ignore analyzer1[,analyzer2...] reason for the exception
+//
+// The comment suppresses matching diagnostics on its own line and on
+// the line directly below it (covering both trailing and standalone
+// placement). The reason is free text; by convention it is mandatory —
+// a suppression that cannot say why it exists should be a fix instead.
+const ignorePrefix = "//vet:ignore"
+
+// ignoreIndex maps analyzer name → file → set of suppressed lines.
+type ignoreIndex map[string]map[string]map[int]bool
+
+func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	return ix[analyzer][pos.Filename][pos.Line]
+}
+
+func (ix ignoreIndex) add(analyzer, file string, line int) {
+	byFile := ix[analyzer]
+	if byFile == nil {
+		byFile = map[string]map[int]bool{}
+		ix[analyzer] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = map[int]bool{}
+		byFile[file] = lines
+	}
+	lines[line] = true
+}
+
+// parseIgnore splits a //vet:ignore comment into the analyzer names it
+// names; ok is false when the comment is not an ignore directive.
+func parseIgnore(text string) (names []string, ok bool) {
+	rest, found := strings.CutPrefix(text, ignorePrefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// buildIgnoreIndex scans every comment in the files for //vet:ignore
+// directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range names {
+					ix.add(name, pos.Filename, pos.Line)
+					ix.add(name, pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return ix
+}

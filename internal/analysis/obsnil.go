@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// obsNilTypes are the obs API types whose pointer methods promise
+// nil-receiver safety.
+var obsNilTypes = map[string]bool{"Observer": true, "Span": true, "Counter": true, "Gauge": true}
+
+// Obsnil enforces the producer side of the obs package's core
+// contract: every exported pointer-receiver method on Observer, Span,
+// Counter, and Gauge must be safe on a nil receiver, because all
+// instrumented code threads a possibly-nil observer unconditionally and
+// the instrumentation-off path must stay a nil check away from free. A
+// single method that forgets the guard turns "observability off" into a
+// panic in production.
+var Obsnil = &Analyzer{
+	Name: "obsnil",
+	Doc: "require the nil-receiver fast path on exported obs API methods\n\n" +
+		"Exported pointer-receiver methods on obs.Observer/Span/Counter/Gauge\n" +
+		"must either begin with the `if recv == nil { return ... }` guard or\n" +
+		"touch the receiver only through nil-safe means (nil comparisons and\n" +
+		"calls to other exported methods of these types). This keeps every\n" +
+		"call site free to pass a nil observer — the repo-wide idiom for\n" +
+		"instrumentation-off.",
+	Default:  true,
+	Packages: []string{"obs"},
+	Run:      runObsnil,
+}
+
+func runObsnil(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverIdent(p, fd)
+			if recv == nil {
+				continue
+			}
+			if startsWithNilGuard(p, fd, recv) {
+				continue
+			}
+			if receiverUsedNilSafely(p, fd, recv) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(),
+				"exported obs method %s dereferences its receiver without the nil guard; start with `if %s == nil { return ... }` to keep the instrumentation-off path free",
+				fd.Name.Name, recv.Name)
+		}
+	}
+}
+
+// receiverIdent returns the named pointer receiver of fd when its base
+// type is one of the nil-safe obs types.
+func receiverIdent(p *Pass, fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return nil
+	}
+	base, ok := ast.Unparen(star.X).(*ast.Ident)
+	if !ok || !obsNilTypes[base.Name] {
+		return nil
+	}
+	return fd.Recv.List[0].Names[0]
+}
+
+// startsWithNilGuard reports whether the method body's first statement
+// is `if recv == nil { ...; return ... }`.
+func startsWithNilGuard(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
+	if len(fd.Body.List) == 0 {
+		return true // empty body cannot dereference anything
+	}
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	if !(isReceiverUse(p, cond.X, recv) && isUntypedNil(p.Info, cond.Y) ||
+		isReceiverUse(p, cond.Y, recv) && isUntypedNil(p.Info, cond.X)) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, returns := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// isReceiverUse reports whether e is an identifier resolving to the
+// receiver object.
+func isReceiverUse(p *Pass, e ast.Expr, recv *ast.Ident) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.Info.ObjectOf(id) == p.Info.ObjectOf(recv)
+}
+
+// receiverUsedNilSafely reports whether every use of the receiver in
+// the body is nil-safe: a nil comparison, or the receiver of a call to
+// an exported method on one of the nil-safe obs types (those methods
+// carry their own guard — this analyzer checks them).
+func receiverUsedNilSafely(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
+	recvObj := p.Info.ObjectOf(recv)
+	safe := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isUntypedNil(p.Info, n.X) || isUntypedNil(p.Info, n.Y) {
+					safe[ast.Unparen(n.X)] = true
+					safe[ast.Unparen(n.Y)] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.IsExported() {
+				if base := namedBase(p.TypeOf(sel.X)); base != nil && obsNilTypes[base.Obj().Name()] {
+					safe[ast.Unparen(sel.X)] = true
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent && p.Info.ObjectOf(id) == recvObj && !safe[n] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

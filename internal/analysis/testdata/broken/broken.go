@@ -1,0 +1,8 @@
+// A deliberately ill-typed package: the loader must record its errors
+// and keep going (graceful degradation), and dfpc-vet must exit 2.
+package broken
+
+func oops() int {
+	var s string = 42 // type error on purpose
+	return s
+}

@@ -1,0 +1,25 @@
+// Positive fixtures: misplaced contexts.
+package ctxdemo
+
+import "context"
+
+type holder struct {
+	name string
+	ctx  context.Context // want "struct stores a context.Context field"
+}
+
+func RunContext(n int, ctx context.Context) error { // want "exported RunContext is a .Context API but does not take context.Context as its first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+func helper(a int, ctx context.Context) int { // want "context.Context must be the first parameter of helper, not parameter 2"
+	_ = ctx
+	return a
+}
+
+type Runner interface {
+	FitContext(d string, ctx context.Context) error // want "exported FitContext is a .Context API but does not take context.Context as its first parameter"
+}
+
+func use(h holder, r Runner) (holder, Runner) { return h, r }

@@ -1,0 +1,31 @@
+// Negative fixtures: ctx-first signatures, the sanctioned-carrier
+// suppression, and context-free code.
+package ctxdemo
+
+import "context"
+
+// okCarrier shows the sanctioned-carrier escape hatch: the suppression
+// names the analyzer and says why.
+type okCarrier struct {
+	name string
+	//vet:ignore ctxfirst fixture for the sanctioned-carrier idiom
+	saved context.Context
+}
+
+func RunAllContext(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func firstParam(ctx context.Context, a int) int {
+	_ = ctx
+	return a
+}
+
+type OkRunner interface {
+	FitContext(ctx context.Context, d string) error
+}
+
+func plain(a, b int) int { return a + b }
+
+func useOk(c okCarrier, r OkRunner) (okCarrier, OkRunner) { return c, r }

@@ -1,0 +1,22 @@
+// Positive fixtures: rounding-fragile float equality in a bound-math
+// package.
+package measures
+
+func eqParams(a, b float64) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+func neqLiteral(x float64) bool {
+	if x != 0.5 { // want "floating-point values compared with !="
+		return false
+	}
+	return true
+}
+
+func eq32(a, b float32) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+func mixedConst(x float64) bool {
+	return x == 1 // want "floating-point values compared with =="
+}

@@ -1,0 +1,28 @@
+// Negative fixtures: the float comparisons that stay legal.
+package measures
+
+import "math"
+
+func zeroChecks(num, den float64) float64 {
+	// exact-zero checks express "structurally zero by construction".
+	if den == 0 || num != 0 {
+		return 0
+	}
+	return num / den
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the NaN self-comparison idiom
+}
+
+func epsilon(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is exact
+}
+
+func ordering(a, b float64) bool {
+	return a < b || a >= b+1 // ordering comparisons are fine
+}

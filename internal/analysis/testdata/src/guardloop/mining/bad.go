@@ -1,0 +1,27 @@
+// Positive fixtures: recursion and unbounded loops in a hot package
+// with no guard poll.
+package mining
+
+// countDown recurses with no guard.Check anywhere in its body.
+func countDown(n int) int { // want "recursive function countDown has no guard.Check/CheckNow or ctx poll"
+	if n <= 0 {
+		return 0
+	}
+	return countDown(n-1) + 1
+}
+
+var sink int
+
+// spin loops forever with neither a guard poll nor an exit path.
+func spin() {
+	for { // want "unbounded for-loop in spin has no guard.Check/ctx poll and no exit"
+		sink++
+	}
+}
+
+// spinTrue: a constant-true condition is just as unbounded.
+func spinTrue() {
+	for true { // want "unbounded for-loop in spinTrue has no guard.Check/ctx poll and no exit"
+		sink++
+	}
+}

@@ -1,0 +1,62 @@
+// Negative fixtures: the sanctioned shapes — guarded recursion,
+// ctx-polled loops, loops with exit paths, bounded loops.
+package mining
+
+import (
+	"context"
+
+	"dfpc/internal/guard"
+)
+
+// mineRec follows the placement rule: Check at recursion entry.
+func mineRec(g *guard.Guard, n int) error {
+	if err := g.Check(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	return mineRec(g, n-1)
+}
+
+// mineRecNow is also fine with the immediate variant.
+func mineRecNow(g *guard.Guard, n int) error {
+	if err := g.CheckNow(); err != nil {
+		return err
+	}
+	if n <= 1 {
+		return nil
+	}
+	return mineRecNow(g, n/2)
+}
+
+// poll spins but reaches a ctx poll every iteration.
+func poll(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// drain has an exit path (break), so it is assumed bounded.
+func drain(ch chan int) int {
+	total := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+// bounded loops with real conditions are out of scope.
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Positive fixtures: unguarded math calls whose silent NaN would
+// corrupt the bound math.
+package measures
+
+import "math"
+
+func badLog(x float64) float64 {
+	return math.Log2(x) // want "has no preceding domain check"
+}
+
+func badSqrt(x, y float64) float64 {
+	return math.Sqrt(x - y) // want "has no preceding domain check"
+}
+
+func checkAfter(x float64) float64 {
+	v := math.Log(x) // want "has no preceding domain check"
+	if x <= 0 {
+		return 0
+	}
+	return v
+}
+
+func wrongOperand(x, y float64) float64 {
+	if y > 0 {
+		return math.Log10(x) // want "has no preceding domain check"
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+// Negative fixtures: domain-checked and safe-by-construction calls.
+package measures
+
+import "math"
+
+func guarded(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+func guardedUpper(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func constArg() float64 {
+	return math.Log(2) + math.Sqrt(0)
+}
+
+func absArg(x float64) float64 {
+	return math.Sqrt(math.Abs(x))
+}
+
+func sqrtChecked(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// other math functions are not domain-watched.
+func unwatched(x float64) float64 {
+	return math.Exp(x) + math.Floor(x)
+}

@@ -1,0 +1,28 @@
+// Positive fixtures: an obs-shaped API whose exported methods forget
+// the nil-receiver fast path. The fixture package is named obs and
+// declares the guarded type names, which is all the analyzer scopes on.
+package obs
+
+type Observer struct{ count int }
+
+// Bad dereferences the receiver with no guard: a nil observer — the
+// repo-wide "instrumentation off" value — would panic here.
+func (o *Observer) Bad() int { // want "exported obs method Bad dereferences its receiver without the nil guard"
+	return o.count
+}
+
+// GuardTooLate checks, but only after the dereference.
+func (o *Observer) GuardTooLate() int { // want "exported obs method GuardTooLate dereferences its receiver without the nil guard"
+	n := o.count
+	if o == nil {
+		return 0
+	}
+	return n
+}
+
+type Span struct{ open bool }
+
+// End forgets the guard on a second type.
+func (s *Span) End() { // want "exported obs method End dereferences its receiver without the nil guard"
+	s.open = false
+}

@@ -1,0 +1,43 @@
+// Negative fixtures: the nil-safe shapes the obs API uses.
+package obs
+
+type Counter struct{ v int }
+
+// Add has the canonical guard as its first statement.
+func (c *Counter) Add(n int) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc touches the receiver only via another exported nil-safe method.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value guards and returns a zero value.
+func (c *Counter) Value() int {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+type Gauge struct{ bits uint64 }
+
+// Enabled uses the receiver only in a nil comparison.
+func (g *Gauge) Enabled() bool { return g != nil }
+
+// Set guards with extra statements before the return.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		_ = v
+		return
+	}
+	g.bits = v
+}
+
+// unexported methods are outside the exported-API contract.
+func (g *Gauge) reset() { g.bits = 0 }
+
+// Free-standing functions are out of scope.
+func Sum(a, b int) int { return a + b }

@@ -1,0 +1,36 @@
+// Positive fixtures: sentinel matching that breaks under wrapping.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBudget mimics the guard package's sentinel taxonomy.
+var ErrBudget = errors.New("budget exhausted")
+
+func compare(err error) bool {
+	if err == ErrBudget { // want "sentinel error ErrBudget compared with ==; use errors.Is"
+		return true
+	}
+	return err != io.EOF // want "sentinel error EOF compared with !=; use errors.Is"
+}
+
+func switchCase(err error) int {
+	switch err {
+	case ErrBudget: // want "switch-case matches sentinel error ErrBudget by ==; use errors.Is"
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func wrapV(name string) error {
+	return fmt.Errorf("stage %s: %v", name, ErrBudget) // want "fmt.Errorf formats sentinel error ErrBudget with %v; wrap it with %w"
+}
+
+func wrapS() error {
+	return fmt.Errorf("mid %s end: %w", ErrBudget, io.EOF) // want "fmt.Errorf formats sentinel error ErrBudget with %s; wrap it with %w"
+}

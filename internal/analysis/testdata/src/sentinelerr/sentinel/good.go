@@ -1,0 +1,34 @@
+// Negative fixtures: wrap-transparent matching and wrapping, plus the
+// comparisons the analyzer must leave alone.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrStop is a second sentinel for the clean paths.
+var ErrStop = errors.New("stop")
+
+func compareGood(err error) bool {
+	if errors.Is(err, ErrStop) {
+		return true
+	}
+	// nil comparisons are not sentinel comparisons.
+	return err == nil || errors.Is(err, io.EOF)
+}
+
+func wrapGood(err error) error {
+	if err != nil {
+		return fmt.Errorf("stage: %w", ErrStop)
+	}
+	// a non-sentinel error arg may use any verb (width args included).
+	return fmt.Errorf("n=%*d: %v", 4, 7, err)
+}
+
+// local non-error vars named Err-like are not sentinels.
+func notAnError() bool {
+	ErrCount := 3
+	return ErrCount == 3
+}

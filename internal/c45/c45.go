@@ -29,6 +29,7 @@ type Config struct {
 	// Ctx, when non-nil, makes tree growth cancellable; Train aborts
 	// with an error satisfying errors.Is(err, guard.ErrCanceled) (or
 	// guard.ErrDeadline). Nil costs nothing.
+	//vet:ignore ctxfirst per-call Config carrier: Config lives only for one Train call
 	Ctx context.Context
 	// Deadline aborts growth once passed (0 = none).
 	Deadline time.Time
@@ -305,6 +306,7 @@ func pessimisticErrors(e, n int, cf float64) float64 {
 // prune applies subtree replacement bottom-up: a subtree is replaced by
 // a leaf when the leaf's pessimistic error estimate does not exceed the
 // subtree's.
+//vet:ignore guardloop recursion bounded by the already-built tree, whose growth was guarded
 func prune(nd *node, cf float64) float64 {
 	if nd.feature < 0 {
 		return pessimisticErrors(nd.errorsAsLeaf, nd.n, cf)
@@ -345,6 +347,7 @@ func (m *Model) PredictAll(x [][]int32) []int {
 // Size returns the number of nodes in the tree.
 func (m *Model) Size() int { return size(m.root) }
 
+//vet:ignore guardloop recursion bounded by the already-built tree, whose growth was guarded
 func size(nd *node) int {
 	if nd == nil {
 		return 0
@@ -355,6 +358,7 @@ func size(nd *node) int {
 // Depth returns the depth of the tree (a single leaf has depth 1).
 func (m *Model) Depth() int { return depth(m.root) }
 
+//vet:ignore guardloop recursion bounded by the already-built tree, whose growth was guarded
 func depth(nd *node) int {
 	if nd == nil {
 		return 0

@@ -8,6 +8,11 @@ import (
 	"dfpc/internal/dataset"
 )
 
+// approx compares floats that are exact in the tests' arithmetic; the
+// epsilon keeps the comparisons robust if the implementation reorders
+// its floating-point operations.
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
 // majorityPipeline predicts the majority class of its training rows.
 type majorityPipeline struct{ class int }
 
@@ -75,7 +80,7 @@ func TestAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc != 0.75 {
+	if !approx(acc, 0.75) {
 		t.Fatalf("acc = %v, want 0.75", acc)
 	}
 	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
@@ -121,7 +126,7 @@ func TestCrossValidateOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mean != 1 || res.Std != 0 {
+	if !approx(res.Mean, 1) || res.Std != 0 {
 		t.Fatalf("oracle mean/std = %v/%v", res.Mean, res.Std)
 	}
 }
@@ -143,7 +148,7 @@ func TestHoldOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc != 1 {
+	if !approx(acc, 1) {
 		t.Fatalf("oracle holdout = %v", acc)
 	}
 }
@@ -157,7 +162,7 @@ func TestSelectBest(t *testing.T) {
 	if idx != 1 {
 		t.Fatalf("best = %d, want oracle (1)", idx)
 	}
-	if res.Mean != 1 {
+	if !approx(res.Mean, 1) {
 		t.Fatalf("best mean = %v", res.Mean)
 	}
 	if _, _, err := SelectBest(nil, d, 5, 1); err == nil {
@@ -167,7 +172,7 @@ func TestSelectBest(t *testing.T) {
 
 func TestMeanStd(t *testing.T) {
 	mean, std := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
-	if mean != 5 {
+	if !approx(mean, 5) {
 		t.Fatalf("mean = %v", mean)
 	}
 	if math.Abs(std-2) > 1e-12 {

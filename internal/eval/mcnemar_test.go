@@ -12,7 +12,7 @@ func TestMcNemarIdenticalPredictions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if chi2 != 0 || p != 1 || ok {
+	if chi2 != 0 || !approx(p, 1) || ok {
 		t.Fatalf("identical predictions: chi2=%v p=%v ok=%v", chi2, p, ok)
 	}
 }
@@ -76,7 +76,7 @@ func TestChiSquaredTail1(t *testing.T) {
 	if got := chiSquaredTail1(3.841); math.Abs(got-0.05) > 0.002 {
 		t.Fatalf("P(X>3.841) = %v, want ~0.05", got)
 	}
-	if got := chiSquaredTail1(0); got != 1 {
+	if got := chiSquaredTail1(0); !approx(got, 1) {
 		t.Fatalf("P(X>0) = %v, want 1", got)
 	}
 	if got := chiSquaredTail1(6.635); math.Abs(got-0.01) > 0.001 {

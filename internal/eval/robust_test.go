@@ -50,7 +50,7 @@ func TestFoldPanicIsolatedUnderContinueOnError(t *testing.T) {
 	if res.Completed != 4 || len(res.FoldAccuracies) != 4 {
 		t.Fatalf("completed = %d (%d accuracies), want 4", res.Completed, len(res.FoldAccuracies))
 	}
-	if res.Mean != 1 {
+	if !approx(res.Mean, 1) {
 		t.Fatalf("mean over completed folds = %v, want 1 (oracle)", res.Mean)
 	}
 }

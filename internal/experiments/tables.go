@@ -61,6 +61,7 @@ type Protocol struct {
 	// Ctx, when non-nil, makes every CV run cancellable; a canceled or
 	// expired context aborts the sweep with the partial rows collected
 	// so far.
+	//vet:ignore ctxfirst per-call Protocol carrier: Protocol lives only for one experiment run
 	Ctx context.Context
 	// StageTimeout bounds each pipeline stage within every fit
 	// (0 = unbounded).
@@ -287,6 +288,7 @@ type ScalabilityConfig struct {
 	MaxMiningTime time.Duration
 	// Ctx, when non-nil, makes the sweep cancellable; unlike the
 	// per-row MaxMiningTime, cancellation aborts the whole run.
+	//vet:ignore ctxfirst per-call ScalabilityConfig carrier: lives only for one sweep
 	Ctx context.Context
 }
 

@@ -66,6 +66,7 @@ type Options struct {
 	// Ctx, when non-nil, makes the greedy loop cancellable; selection
 	// aborts with an error satisfying errors.Is(err, guard.ErrCanceled)
 	// (or guard.ErrDeadline). Nil costs nothing.
+	//vet:ignore ctxfirst per-call Options carrier: Options lives only for one Select call
 	Ctx context.Context
 	// Deadline aborts selection once passed (0 = none).
 	Deadline time.Time

@@ -68,6 +68,7 @@ type Limits struct {
 // A Guard is NOT safe for concurrent use; give each goroutine its own
 // (guards are cheap — derive several from the same context).
 type Guard struct {
+	//vet:ignore ctxfirst the Guard IS the sanctioned single-stage ctx carrier (see package doc)
 	ctx      context.Context
 	done     <-chan struct{}
 	deadline time.Time

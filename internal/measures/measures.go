@@ -12,8 +12,16 @@ import (
 	"dfpc/internal/bitset"
 )
 
-// log2 with the convention 0·log2(0) = 0 handled by callers.
-func log2(x float64) float64 { return math.Log2(x) }
+// log2 with the convention 0·log2(0) = 0 handled by callers. The
+// domain guard pins non-positive arguments to the x→0⁺ limit so a
+// caller that slips past its own guard gets -Inf (which propagates
+// visibly) instead of math.Log2's silent NaN for x < 0.
+func log2(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log2(x)
+}
 
 // H2 is the binary entropy function H2(p) = -p log p - (1-p) log(1-p).
 func H2(p float64) float64 {

@@ -346,7 +346,7 @@ func TestMinSupportErrors(t *testing.T) {
 func TestFeasibleQ(t *testing.T) {
 	// θ ≤ min(p, 1−p): full range.
 	qlo, qhi := feasibleQ(0.2, 0.5)
-	if qlo != 0 || qhi != 1 {
+	if qlo != 0 || !almostEqual(qhi, 1, 1e-12) {
 		t.Fatalf("feasibleQ(0.2,0.5) = (%v,%v)", qlo, qhi)
 	}
 	// θ > p: qhi = p/θ.

@@ -67,6 +67,7 @@ type Options struct {
 	// Ctx.Done at recursion and loop boundaries and abort with an error
 	// wrapping guard.ErrCanceled (or guard.ErrDeadline for a context
 	// deadline). Nil behaves like context.Background at no cost.
+	//vet:ignore ctxfirst per-call Options carrier: Options lives only for one mining run
 	Ctx context.Context
 	// Deadline aborts the run with ErrDeadline once passed (checked
 	// periodically). Zero means no deadline.

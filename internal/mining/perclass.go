@@ -32,6 +32,7 @@ type PerClassOptions struct {
 	// already part of the feature space I. 0 or 1 keeps everything.
 	MinLen int
 	// Ctx, when non-nil, makes mining cancellable; see Options.Ctx.
+	//vet:ignore ctxfirst per-call Options carrier: lives only for one per-class run
 	Ctx context.Context
 	// Deadline aborts mining with ErrDeadline once passed (0 = none).
 	Deadline time.Time

@@ -28,6 +28,7 @@ type Config struct {
 	// Ctx, when non-nil, makes SMO iterations cancellable; training
 	// aborts with an error satisfying errors.Is(err, guard.ErrCanceled)
 	// (or guard.ErrDeadline). Nil costs nothing.
+	//vet:ignore ctxfirst per-call Config carrier: Config lives only for one Train call
 	Ctx context.Context
 	// Deadline aborts training once passed (0 = none).
 	Deadline time.Time

@@ -102,7 +102,7 @@ func TestPredictProbDegenerateSingleClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if probs[1] != 1 {
+	if math.Abs(probs[1]-1) > 1e-12 {
 		t.Fatalf("degenerate probs = %v", probs)
 	}
 }

@@ -6,6 +6,11 @@ import (
 	"testing"
 )
 
+// approx compares floats that are exact in the tests' arithmetic; the
+// epsilon keeps the comparisons robust if the implementation reorders
+// its floating-point operations.
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
 // sep2D builds a linearly separable binary problem over two indicator
 // features: class 0 rows contain feature 0, class 1 rows feature 1.
 func sep2D(n int) (x [][]int32, y []int) {
@@ -32,7 +37,7 @@ func TestDot(t *testing.T) {
 		{[]int32{0}, []int32{1}, 0},
 	}
 	for _, c := range cases {
-		if got := dot(c.a, c.b); got != c.want {
+		if got := dot(c.a, c.b); !approx(got, c.want) {
 			t.Errorf("dot(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
@@ -41,7 +46,7 @@ func TestDot(t *testing.T) {
 func TestKernelEval(t *testing.T) {
 	a, b := []int32{0, 1}, []int32{1, 2}
 	lin := Kernel{Type: Linear}
-	if got := lin.eval(a, b, 1); got != 1 {
+	if got := lin.eval(a, b, 1); !approx(got, 1) {
 		t.Fatalf("linear = %v, want 1", got)
 	}
 	rbf := Kernel{Type: RBF}
@@ -62,15 +67,15 @@ func TestKernelEval(t *testing.T) {
 
 func TestResolveGamma(t *testing.T) {
 	k := Kernel{Type: RBF}
-	if got := k.resolveGamma(4); got != 0.25 {
+	if got := k.resolveGamma(4); !approx(got, 0.25) {
 		t.Fatalf("gamma = %v, want 0.25", got)
 	}
 	k.Gamma = 2
-	if got := k.resolveGamma(4); got != 2 {
+	if got := k.resolveGamma(4); !approx(got, 2) {
 		t.Fatalf("gamma = %v, want 2", got)
 	}
 	k.Gamma = 0
-	if got := k.resolveGamma(0); got != 1 {
+	if got := k.resolveGamma(0); !approx(got, 1) {
 		t.Fatalf("gamma fallback = %v, want 1", got)
 	}
 }

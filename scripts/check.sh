@@ -9,6 +9,12 @@ cd "$(dirname "$0")/.."
 echo ">> go vet ./..."
 go vet ./...
 
+# Repo-specific static analysis (guard placement, sentinel-error
+# discipline, float equality, ctx plumbing, obs nil-safety, math
+# domains). Exit 1 = findings, exit 2 = a package failed to load.
+echo ">> go run ./cmd/dfpc-vet ./..."
+go run ./cmd/dfpc-vet ./...
+
 echo ">> go test -race -timeout 10m ./..."
 go test -race -timeout 10m ./...
 
