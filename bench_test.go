@@ -12,6 +12,7 @@ package dfpc
 // -v run doubles as a results transcript.
 
 import (
+	"log/slog"
 	"math/rand"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"dfpc/internal/experiments"
 	"dfpc/internal/graphmining"
 	"dfpc/internal/mining"
+	"dfpc/internal/obs"
 	"dfpc/internal/seqmining"
 	"dfpc/internal/svm"
 )
@@ -305,21 +307,30 @@ func BenchmarkEndToEndPatFS(b *testing.B) {
 	}
 }
 
-// BenchmarkFitInstrumentationOff is the no-observer baseline for the
-// observability layer: it must match BenchmarkEndToEndPatFS, since a
-// nil observer reduces every span/counter call to a nil check.
-// Compare with BenchmarkFitInstrumentationOn to see the recording cost.
+// BenchmarkFitInstrumentationOff is the no-observer, no-logger
+// baseline for the observability layer: it must match
+// BenchmarkEndToEndPatFS, since a nil observer and nil logger reduce
+// every span/counter/histogram/log call to a nil check. Compare with
+// BenchmarkFitInstrumentationOn to see the recording cost.
 func BenchmarkFitInstrumentationOff(b *testing.B) {
-	benchFitObserved(b, nil)
+	benchFitObserved(b, nil, nil)
 }
 
 // BenchmarkFitInstrumentationOn measures the same fit with a live
-// observer recording spans and counters.
+// observer recording spans, counters, and stage-duration histograms.
 func BenchmarkFitInstrumentationOn(b *testing.B) {
-	benchFitObserved(b, NewObserver())
+	benchFitObserved(b, NewObserver(), nil)
 }
 
-func benchFitObserved(b *testing.B, o *Observer) {
+// BenchmarkFitInstrumentationOnWithLog additionally installs an
+// enabled-but-discarding slog logger, pricing the logging plumbing
+// itself (attribute construction never happens: the discard handler
+// rejects every level before formatting).
+func BenchmarkFitInstrumentationOnWithLog(b *testing.B) {
+	benchFitObserved(b, NewObserver(), obs.DiscardLogger())
+}
+
+func benchFitObserved(b *testing.B, o *Observer, log *slog.Logger) {
 	d, err := Generate("heart", 1)
 	if err != nil {
 		b.Fatal(err)
@@ -333,7 +344,7 @@ func benchFitObserved(b *testing.B, o *Observer) {
 		if o != nil {
 			o.Reset()
 		}
-		clf := NewClassifier(PatFS, SVM, WithMinSupport(0.15), WithObserver(o))
+		clf := NewClassifier(PatFS, SVM, WithMinSupport(0.15), WithObserver(o), WithLogger(log))
 		if err := clf.Fit(d, rows); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,178 @@
+// Command benchdiff compares two per-stage pipeline benchmark documents
+// (as written by `experiments -benchjson`, e.g. the committed
+// BENCH_pipeline.json) and fails when any stage's summed wall time
+// regressed beyond a threshold. It is the comparison half of the
+// check.sh bench gate:
+//
+//	go run ./cmd/experiments -benchjson /tmp/bench.json
+//	go run ./cmd/benchdiff BENCH_pipeline.json /tmp/bench.json
+//
+// The threshold defaults to 0.30 (a stage may be up to 30% slower than
+// the committed baseline before the gate trips) and can be set with
+// -threshold or the BENCH_THRESHOLD environment variable; the flag
+// wins. Stages whose baseline wall time is under -min-wall are skipped:
+// sub-millisecond stages are dominated by scheduler noise, and a 30%
+// swing there carries no signal.
+//
+// Exit status: 0 when every compared stage is within the threshold,
+// 1 when at least one regressed, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"dfpc/internal/obs"
+	"dfpc/internal/telemetry"
+)
+
+// benchDoc mirrors the document written by `experiments -benchjson`.
+type benchDoc struct {
+	Benchmark string           `json:"benchmark"`
+	Folds     int              `json:"folds"`
+	MinSup    float64          `json:"min_sup"`
+	Runs      []*obs.RunReport `json:"runs"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", defaultThreshold(),
+		"max allowed per-stage slowdown vs baseline (0.30 = 30%; env BENCH_THRESHOLD sets the default)")
+	minWall := flag.Duration("min-wall", 5*time.Millisecond,
+		"skip stages whose summed baseline wall time is below this (noise floor)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] BASELINE.json CURRENT.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	if base.Benchmark != cur.Benchmark || base.Folds != cur.Folds {
+		fail(fmt.Errorf("documents are not comparable: baseline %q/%d folds vs current %q/%d folds",
+			base.Benchmark, base.Folds, cur.Benchmark, cur.Folds))
+	}
+
+	baseStages := aggregate(base)
+	curStages := aggregate(cur)
+
+	names := make([]string, 0, len(baseStages))
+	for name := range baseStages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	skipped := 0
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\tbaseline\tcurrent\tdelta\tverdict\n")
+	for _, name := range names {
+		b := baseStages[name]
+		c, ok := curStages[name]
+		if !ok {
+			// A stage absent from the current run (e.g. skipped by a
+			// degradation) cannot regress; report it for visibility.
+			fmt.Fprintf(tw, "%s\t%v\t-\t-\tmissing\n", name, round(b))
+			continue
+		}
+		if b < int64(*minWall) {
+			skipped++
+			continue
+		}
+		delta := float64(c-b) / float64(b)
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%+.1f%%\t%s\n", name, round(b), round(c), 100*delta, verdict)
+	}
+	for name, c := range curStages {
+		if _, ok := baseStages[name]; !ok && c >= int64(*minWall) {
+			fmt.Fprintf(tw, "%s\t-\t%v\t-\tnew\n", name, round(c))
+		}
+	}
+	tw.Flush()
+	if skipped > 0 {
+		fmt.Printf("(%d stage(s) under the %v noise floor not compared)\n", skipped, *minWall)
+	}
+	if regressed > 0 {
+		fmt.Printf("FAIL: %d stage(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: all compared stages within %.0f%% of baseline\n", 100**threshold)
+}
+
+// defaultThreshold reads BENCH_THRESHOLD, falling back to 0.30 when
+// unset or unparseable (a bad value should not silently loosen the
+// gate, so it warns).
+func defaultThreshold() float64 {
+	s := os.Getenv("BENCH_THRESHOLD")
+	if s == "" {
+		return 0.30
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: ignoring BENCH_THRESHOLD=%q: not a positive number\n", s)
+		return 0.30
+	}
+	return v
+}
+
+// aggregate sums each stage's wall time across every run in the
+// document, reusing the journal's span-tree flattening.
+func aggregate(d *benchDoc) map[string]int64 {
+	out := map[string]int64{}
+	for _, r := range d.Runs {
+		for _, st := range telemetry.StagesFromReport(r) {
+			out[st.Name] += st.WallNS
+		}
+	}
+	return out
+}
+
+func load(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d benchDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return &d, nil
+}
+
+func round(ns int64) time.Duration {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(time.Microsecond)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -28,6 +28,7 @@ import (
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
 	"dfpc/internal/obs"
+	"dfpc/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -57,8 +60,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dfpc-mine:", err)
 		os.Exit(1)
 	}
+	var ses *telemetry.Session
 	fail := func(args ...any) {
 		fmt.Fprintln(os.Stderr, append([]any{"dfpc-mine:"}, args...)...)
+		ses.Close()
 		stopProf()
 		os.Exit(1)
 	}
@@ -69,9 +74,20 @@ func main() {
 	}()
 
 	var o *obs.Observer
-	if *verbose || *reportTo != "" {
+	if *verbose || *reportTo != "" || tf.NeedsObserver() {
 		o = obs.New()
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ses, err = tf.Start(ctx, "dfpc-mine", o, *verbose)
+	if err != nil {
+		fail(err)
+	}
+	defer ses.Close()
 
 	sp := o.Start("load")
 	d, err := load(*dataPath, *arffPath, *lucsPath, *bundled, *seed)
@@ -93,12 +109,6 @@ func main() {
 		fail(err)
 	}
 	sp.Attr("items", b.NumItems()).End()
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	usedSup := *minSup
 	sp = o.Start("mine").Attr("min_sup", *minSup).Attr("closed", *closed)
 	mopt := mining.PerClassOptions{
@@ -109,17 +119,17 @@ func main() {
 		MinLen:      2,
 		Ctx:         ctx,
 		Obs:         o,
+		Log:         obs.StageLogger(ses.Log, "mine"),
 	}
 	var ps []mining.Pattern
+	var degs []mining.Degradation
 	switch strings.ToLower(*onBudget) {
 	case "", "fail":
 		ps, err = mining.MinePerClass(b, mopt)
 	case "degrade":
-		var degs []mining.Degradation
+		// Each escalation is logged as a WARN record by the adaptive
+		// miner itself; degs feeds the journal below.
 		ps, degs, usedSup, err = mining.MinePerClassAdaptive(b, mopt, mining.Backoff{})
-		for _, dg := range degs {
-			fmt.Fprintf(os.Stderr, "dfpc-mine: degraded: %v\n", dg)
-		}
 	default:
 		err = fmt.Errorf("unknown -on-budget policy %q (want fail or degrade)", *onBudget)
 	}
@@ -177,8 +187,10 @@ func main() {
 			r.p.Support, theta, r.ig, fisher, curve(r.p.Support), strings.Join(names, " ∧ "))
 	}
 
+	var rep *obs.RunReport
 	if o != nil {
-		rep := o.Report(d.Name)
+		rep = o.Report(d.Name)
+		ses.AddRun(rep)
 		if *verbose {
 			fmt.Fprintln(os.Stderr)
 			rep.WriteTree(os.Stderr)
@@ -195,9 +207,24 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+			ses.Log.Info("run report written", "path", *reportTo)
 		}
 	}
+	warnings := make([]string, 0, len(degs))
+	for _, dg := range degs {
+		warnings = append(warnings, dg.String())
+	}
+	ses.Journal(telemetry.Record{
+		Kind:    "mine",
+		Dataset: d.Name,
+		Config: map[string]any{
+			"min_sup": usedSup,
+			"closed":  *closed,
+			"max_len": *maxLen,
+		},
+		Stages:   telemetry.StagesFromReport(rep),
+		Warnings: warnings,
+	})
 }
 
 // buildBoundLookup returns a function mapping absolute support to the

@@ -21,10 +21,10 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"time"
 
 	"dfpc"
 	"dfpc/internal/obs"
+	"dfpc/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +55,8 @@ func main() {
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -62,9 +64,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dfpc:", err)
 		os.Exit(1)
 	}
-	// os.Exit skips defers, so every exit path below funnels through fail.
+	// os.Exit skips defers, so every exit path below funnels through
+	// fail, which also closes the telemetry session (journal + server).
+	var ses *telemetry.Session
 	fail := func(args ...any) {
 		fmt.Fprintln(os.Stderr, append([]any{"dfpc:"}, args...)...)
+		ses.Close()
 		stopProf()
 		os.Exit(1)
 	}
@@ -144,19 +149,19 @@ func main() {
 	}
 
 	var o *dfpc.Observer
-	if *verbose || *reportTo != "" {
+	if *verbose || *reportTo != "" || tf.NeedsObserver() {
 		o = dfpc.NewObserver()
 	}
-	var progress dfpc.ProgressFunc
-	if *verbose {
-		progress = func(fold, total int, elapsed time.Duration, acc float64) {
-			fmt.Fprintf(os.Stderr, "fold %d/%d done in %v (accuracy %.2f%%)\n",
-				fold, total, elapsed.Round(time.Millisecond), 100*acc)
-		}
+	ses, err = tf.Start(ctx, "dfpc", o, *verbose)
+	if err != nil {
+		fail(err)
 	}
+	defer ses.Close()
+	clf.SetLogger(ses.Log)
+
 	res, err := dfpc.CrossValidateContext(ctx, clf, d, *folds, *seed, dfpc.CVOptions{
 		Obs:             o,
-		Progress:        progress,
+		Log:             ses.Log,
 		ContinueOnError: *contOnError,
 	})
 	if err != nil {
@@ -177,14 +182,10 @@ func main() {
 	fmt.Printf("model       %v + %v\n", fam, lrn)
 	fmt.Printf("accuracy    %.2f%% ± %.2f (%d-fold CV)\n", 100*res.Mean, 100*res.Std, *folds)
 	if len(res.Failures) > 0 {
+		// The individual failures were already logged as WARN records by
+		// the CV harness; the summary line keeps stdout self-contained.
 		fmt.Printf("folds       %d/%d completed; statistics cover completed folds only\n",
 			res.Completed, res.Completed+len(res.Failures))
-		for _, fe := range res.Failures {
-			fmt.Fprintf(os.Stderr, "dfpc: %v\n", fe)
-		}
-	}
-	for _, w := range clf.Stats.Warnings {
-		fmt.Fprintf(os.Stderr, "dfpc: warning (last fold): %v\n", w)
 	}
 	fmt.Printf("train time  %v   test time  %v\n", res.TrainTime.Round(1e6), res.TestTime.Round(1e6))
 	if clf.Stats.MinSupport > 0 {
@@ -194,11 +195,22 @@ func main() {
 	if *explain > 0 {
 		printExplanation(clf, *explain)
 	}
+	warnings := make([]string, 0, len(clf.Stats.Warnings)+len(res.Failures))
+	for _, w := range clf.Stats.Warnings {
+		warnings = append(warnings, w.String())
+	}
+	for _, fe := range res.Failures {
+		warnings = append(warnings, fe.Error())
+	}
+	var rep *dfpc.RunReport
 	if o != nil {
-		rep := o.Report(d.Name)
+		rep = o.Report(d.Name)
+		ses.AddRun(rep)
+		// Stage detail goes to stderr: stdout carries only the summary
+		// above, so it stays machine-parseable.
 		if *verbose {
-			fmt.Println()
-			rep.WriteTree(os.Stdout)
+			fmt.Fprintln(os.Stderr)
+			rep.WriteTree(os.Stderr)
 		}
 		if *reportTo != "" {
 			f, err := os.Create(*reportTo)
@@ -212,9 +224,27 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+			ses.Log.Info("run report written", "path", *reportTo)
 		}
 	}
+	ses.Journal(telemetry.Record{
+		Kind:    "cv",
+		Dataset: d.Name,
+		Config: map[string]any{
+			"family":   fam.String(),
+			"learner":  lrn.String(),
+			"seed":     *seed,
+			"min_sup":  clf.Stats.MinSupport,
+			"coverage": *coverage,
+			"C":        *svmC,
+		},
+		Folds:       *folds,
+		Accuracy:    res.Mean,
+		AccuracyStd: res.Std,
+		WallNS:      int64(res.TrainTime + res.TestTime),
+		Stages:      telemetry.StagesFromReport(rep),
+		Warnings:    warnings,
+	})
 	if *saveTo != "" {
 		rows := make([]int, d.NumRows())
 		for i := range rows {

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"dfpc/internal/datagen"
 	"dfpc/internal/experiments"
 	"dfpc/internal/obs"
+	"dfpc/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func main() {
 	contOnError := flag.Bool("continue-on-error", false, "isolate failing CV folds; table cells then cover the completed folds")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start()
@@ -55,8 +59,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	var ses *telemetry.Session
 	fail := func(args ...any) {
 		fmt.Fprintln(os.Stderr, append([]any{"experiments:"}, args...)...)
+		ses.Close()
 		stopProf()
 		os.Exit(1)
 	}
@@ -65,13 +71,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: profiling:", err)
 		}
 	}()
-
-	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
-			fail(err)
-		}
-		return
-	}
 
 	cfg := runConfig{
 		folds:        *folds,
@@ -94,8 +93,21 @@ func main() {
 		cfg.ctx, cancel = context.WithTimeout(cfg.ctx, *timeout)
 		defer cancel()
 	}
-	if *verbose || *reportTo != "" {
+	if *verbose || *reportTo != "" || tf.NeedsObserver() {
 		cfg.obs = obs.New()
+	}
+	ses, err = tf.Start(cfg.ctx, "experiments", cfg.obs, *verbose)
+	if err != nil {
+		fail(err)
+	}
+	defer ses.Close()
+	cfg.log = ses.Log
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, ses); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if cfg.csvDir != "" {
 		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
@@ -127,11 +139,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	elapsed := time.Since(start)
+	var rep *dfpc.RunReport
 	if cfg.obs != nil {
-		rep := cfg.obs.Report("experiments")
+		rep = cfg.obs.Report("experiments")
+		ses.AddRun(rep)
+		// Stage detail goes to stderr so stdout carries only the tables
+		// and figures themselves.
 		if *verbose {
-			fmt.Println()
-			rep.WriteTree(os.Stdout)
+			fmt.Fprintln(os.Stderr)
+			rep.WriteTree(os.Stderr)
 		}
 		if *reportTo != "" {
 			f, err := os.Create(*reportTo)
@@ -145,17 +162,39 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportTo)
+			ses.Log.Info("run report written", "path", *reportTo)
 		}
 	}
-	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	kind := "table"
+	target := *table
+	switch {
+	case *all:
+		kind, target = "table", "all"
+	case *figure != "":
+		kind, target = "figure", *figure
+	case *ablations:
+		kind, target = "table", "ablations"
+	}
+	ses.Journal(telemetry.Record{
+		Kind: kind,
+		Config: map[string]any{
+			"target": target,
+			"folds":  cfg.folds,
+			"quick":  cfg.quick,
+		},
+		Folds:  cfg.folds,
+		WallNS: int64(elapsed),
+		Stages: telemetry.StagesFromReport(rep),
+	})
+	fmt.Printf("\ndone in %v\n", elapsed.Round(time.Millisecond))
 }
 
 type runConfig struct {
 	folds  int
 	quick  bool
 	csvDir string
-	obs    *obs.Observer // nil unless -verbose or -report
+	obs    *obs.Observer // nil unless -verbose, -report, -listen, or -journal
+	log    *slog.Logger  // the telemetry session's root logger
 
 	// bounded-execution settings threaded into every experiment
 	//vet:ignore ctxfirst per-run CLI config carrier: built once in main, read-only after
@@ -174,6 +213,7 @@ func (c runConfig) protocol() experiments.Protocol {
 		StageTimeout:    c.stageTimeout,
 		OnBudget:        c.onBudget,
 		ContinueOnError: c.contOnError,
+		Log:             c.log,
 	}
 }
 
@@ -184,9 +224,9 @@ var benchDatasets = []string{"austral", "breast", "heart"}
 // runBenchJSON fits the full Pat_FS+SVM pipeline once per benchmark
 // dataset with an observer installed and writes the per-stage reports
 // (one RunReport per dataset) as a single JSON document. The output
-// seeds the repo's performance trajectory: future optimisation PRs
-// diff their BENCH_pipeline.json against the committed one.
-func runBenchJSON(path string) error {
+// seeds the repo's performance trajectory: the check.sh bench gate
+// diffs a fresh BENCH_pipeline.json against the committed one.
+func runBenchJSON(path string, ses *telemetry.Session) error {
 	type doc struct {
 		Benchmark string            `json:"benchmark"`
 		Folds     int               `json:"folds"`
@@ -208,6 +248,17 @@ func runBenchJSON(path string) error {
 		}
 		rep := o.Report(name)
 		out.Runs = append(out.Runs, rep)
+		ses.AddRun(rep)
+		ses.Journal(telemetry.Record{
+			Kind:        "cv",
+			Dataset:     name,
+			Config:      map[string]any{"benchmark": out.Benchmark, "min_sup": minSup},
+			Folds:       out.Folds,
+			Accuracy:    res.Mean,
+			AccuracyStd: res.Std,
+			WallNS:      rep.WallNS,
+			Stages:      telemetry.StagesFromReport(rep),
+		})
 		fmt.Printf("%-10s accuracy %.2f%% ± %.2f  wall %v\n",
 			name, 100*res.Mean, 100*res.Std, time.Duration(rep.WallNS).Round(time.Millisecond))
 	}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"dfpc/internal/c45"
@@ -316,6 +317,15 @@ func NewObserver() *Observer { return obs.New() }
 // spans and counters during Fit and Predict.
 func WithObserver(o *Observer) Option {
 	return func(c *core.Config) { c.Obs = o }
+}
+
+// WithLogger installs a structured logger (log/slog) that receives
+// stage-scoped DEBUG records and degradation WARN records during Fit —
+// mining per class partition, MMRFS selection, SMO/C4.5 learning,
+// min_sup escalations, non-converged solves. A nil logger disables
+// logging at zero cost.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *core.Config) { c.Log = obs.Log(l) }
 }
 
 // NewClassifier builds a classifier of the given family and learner.

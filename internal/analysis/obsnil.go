@@ -3,41 +3,58 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+	"strings"
 )
 
-// obsNilTypes are the obs API types whose pointer methods promise
-// nil-receiver safety.
-var obsNilTypes = map[string]bool{"Observer": true, "Span": true, "Counter": true, "Gauge": true}
+// nilSafeTypes maps each instrumentation package to the API types
+// whose exported pointer methods promise nil-receiver safety. The obs
+// set is the original contract; telemetry extends it to the debug
+// server and session plumbing (Flags is deliberately absent — it is a
+// value-populated flag carrier, never handed around as a possibly-nil
+// pointer).
+var nilSafeTypes = map[string]map[string]bool{
+	"obs": {"Observer": true, "Span": true, "Counter": true, "Gauge": true,
+		"Histogram": true},
+	"telemetry": {"Server": true, "Session": true, "Journal": true,
+		"RunBuffer": true},
+}
 
-// Obsnil enforces the producer side of the obs package's core
-// contract: every exported pointer-receiver method on Observer, Span,
-// Counter, and Gauge must be safe on a nil receiver, because all
-// instrumented code threads a possibly-nil observer unconditionally and
-// the instrumentation-off path must stay a nil check away from free. A
-// single method that forgets the guard turns "observability off" into a
-// panic in production.
+// Obsnil enforces the producer side of the instrumentation nil
+// contract: every exported pointer-receiver method on the obs and
+// telemetry API types above must be safe on a nil receiver, because
+// all instrumented code threads possibly-nil handles unconditionally
+// and the instrumentation-off path must stay a nil check away from
+// free. A single method that forgets the guard turns "observability
+// off" into a panic in production.
 var Obsnil = &Analyzer{
 	Name: "obsnil",
-	Doc: "require the nil-receiver fast path on exported obs API methods\n\n" +
-		"Exported pointer-receiver methods on obs.Observer/Span/Counter/Gauge\n" +
-		"must either begin with the `if recv == nil { return ... }` guard or\n" +
-		"touch the receiver only through nil-safe means (nil comparisons and\n" +
-		"calls to other exported methods of these types). This keeps every\n" +
-		"call site free to pass a nil observer — the repo-wide idiom for\n" +
-		"instrumentation-off.",
+	Doc: "require the nil-receiver fast path on exported obs/telemetry API methods\n\n" +
+		"Exported pointer-receiver methods on obs.Observer/Span/Counter/Gauge/\n" +
+		"Histogram and telemetry.Server/Session/Journal/RunBuffer must either\n" +
+		"begin with an `if recv == nil { return ... }` guard (possibly ||-joined\n" +
+		"with further conditions) or touch the receiver only through nil-safe\n" +
+		"means (nil comparisons and calls to other exported methods of these\n" +
+		"types). This keeps every call site free to pass a nil handle — the\n" +
+		"repo-wide idiom for instrumentation-off.",
 	Default:  true,
-	Packages: []string{"obs"},
+	Packages: []string{"obs", "telemetry"},
 	Run:      runObsnil,
 }
 
 func runObsnil(p *Pass) {
+	pkgName := strings.TrimSuffix(p.Pkg.Name(), "_test")
+	typeSet := nilSafeTypes[pkgName]
+	if typeSet == nil {
+		return
+	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
-			recv := receiverIdent(p, fd)
+			recv := receiverIdent(p, fd, typeSet)
 			if recv == nil {
 				continue
 			}
@@ -48,15 +65,15 @@ func runObsnil(p *Pass) {
 				continue
 			}
 			p.Reportf(fd.Name.Pos(),
-				"exported obs method %s dereferences its receiver without the nil guard; start with `if %s == nil { return ... }` to keep the instrumentation-off path free",
-				fd.Name.Name, recv.Name)
+				"exported %s method %s dereferences its receiver without the nil guard; start with `if %s == nil { return ... }` to keep the instrumentation-off path free",
+				pkgName, fd.Name.Name, recv.Name)
 		}
 	}
 }
 
 // receiverIdent returns the named pointer receiver of fd when its base
-// type is one of the nil-safe obs types.
-func receiverIdent(p *Pass, fd *ast.FuncDecl) *ast.Ident {
+// type is one of the package's nil-safe types.
+func receiverIdent(p *Pass, fd *ast.FuncDecl, typeSet map[string]bool) *ast.Ident {
 	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
 		return nil
 	}
@@ -65,14 +82,16 @@ func receiverIdent(p *Pass, fd *ast.FuncDecl) *ast.Ident {
 		return nil
 	}
 	base, ok := ast.Unparen(star.X).(*ast.Ident)
-	if !ok || !obsNilTypes[base.Name] {
+	if !ok || !typeSet[base.Name] {
 		return nil
 	}
 	return fd.Recv.List[0].Names[0]
 }
 
 // startsWithNilGuard reports whether the method body's first statement
-// is `if recv == nil { ...; return ... }`.
+// is `if recv == nil { ...; return ... }`, or an ||-chain containing
+// that comparison (`if recv == nil || other { return }`) — either way
+// a nil receiver is guaranteed to take the return.
 func startsWithNilGuard(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
 	if len(fd.Body.List) == 0 {
 		return true // empty body cannot dereference anything
@@ -81,12 +100,7 @@ func startsWithNilGuard(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
 	if !ok || ifStmt.Init != nil {
 		return false
 	}
-	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
-	if !ok || cond.Op != token.EQL {
-		return false
-	}
-	if !(isReceiverUse(p, cond.X, recv) && isUntypedNil(p.Info, cond.Y) ||
-		isReceiverUse(p, cond.Y, recv) && isUntypedNil(p.Info, cond.X)) {
+	if !condImpliesNilReturn(p, ifStmt.Cond, recv) {
 		return false
 	}
 	n := len(ifStmt.Body.List)
@@ -97,6 +111,24 @@ func startsWithNilGuard(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
 	return returns
 }
 
+// condImpliesNilReturn reports whether cond is true whenever the
+// receiver is nil: the `recv == nil` comparison itself, or an ||
+// disjunction with such a branch. (An && conjunction does not qualify
+// — a nil receiver could still fall through on the other operand.)
+func condImpliesNilReturn(p *Pass, cond ast.Expr, recv *ast.Ident) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condImpliesNilReturn(p, e.X, recv) || condImpliesNilReturn(p, e.Y, recv)
+		case token.EQL:
+			return isReceiverUse(p, e.X, recv) && isUntypedNil(p.Info, e.Y) ||
+				isReceiverUse(p, e.Y, recv) && isUntypedNil(p.Info, e.X)
+		}
+	}
+	return false
+}
+
 // isReceiverUse reports whether e is an identifier resolving to the
 // receiver object.
 func isReceiverUse(p *Pass, e ast.Expr, recv *ast.Ident) bool {
@@ -104,10 +136,20 @@ func isReceiverUse(p *Pass, e ast.Expr, recv *ast.Ident) bool {
 	return ok && p.Info.ObjectOf(id) == p.Info.ObjectOf(recv)
 }
 
+// isNilSafeNamed reports whether the named type belongs to a package's
+// nil-safe API set.
+func isNilSafeNamed(pkg *types.Package, typeName string) bool {
+	if pkg == nil {
+		return false
+	}
+	set := nilSafeTypes[strings.TrimSuffix(pkg.Name(), "_test")]
+	return set != nil && set[typeName]
+}
+
 // receiverUsedNilSafely reports whether every use of the receiver in
 // the body is nil-safe: a nil comparison, or the receiver of a call to
-// an exported method on one of the nil-safe obs types (those methods
-// carry their own guard — this analyzer checks them).
+// an exported method on one of the package's nil-safe types (those
+// methods carry their own guard — this analyzer checks them).
 func receiverUsedNilSafely(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
 	recvObj := p.Info.ObjectOf(recv)
 	safe := map[ast.Node]bool{}
@@ -122,7 +164,7 @@ func receiverUsedNilSafely(p *Pass, fd *ast.FuncDecl, recv *ast.Ident) bool {
 			}
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.IsExported() {
-				if base := namedBase(p.TypeOf(sel.X)); base != nil && obsNilTypes[base.Obj().Name()] {
+				if base := namedBase(p.TypeOf(sel.X)); base != nil && isNilSafeNamed(base.Obj().Pkg(), base.Obj().Name()) {
 					safe[ast.Unparen(sel.X)] = true
 				}
 			}

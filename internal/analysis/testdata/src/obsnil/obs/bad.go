@@ -26,3 +26,20 @@ type Span struct{ open bool }
 func (s *Span) End() { // want "exported obs method End dereferences its receiver without the nil guard"
 	s.open = false
 }
+
+type Histogram struct{ sum int64 }
+
+// Observe forgets the guard on the histogram type added for live
+// telemetry.
+func (h *Histogram) Observe(v int64) { // want "exported obs method Observe dereferences its receiver without the nil guard"
+	h.sum += v
+}
+
+// Sum guards correctly; it sits next to the bad method to pin that the
+// analyzer reports per method, not per type.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}

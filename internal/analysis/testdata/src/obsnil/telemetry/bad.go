@@ -1,0 +1,35 @@
+// Positive fixtures: a telemetry-shaped API whose exported methods
+// forget the nil-receiver fast path. The fixture package is named
+// telemetry and declares the guarded type names, which is all the
+// analyzer scopes on.
+package telemetry
+
+type Session struct{ runID string }
+
+// Bad dereferences the receiver with no guard: a nil session — the
+// telemetry-off value in every CLI — would panic here.
+func (s *Session) Bad() string { // want "exported telemetry method Bad dereferences its receiver without the nil guard"
+	return s.runID
+}
+
+type RunBuffer struct{ n int }
+
+// AndGuard uses && — a nil receiver with ready=false falls through to
+// the dereference, so the guard does not qualify.
+func (b *RunBuffer) AndGuard(ready bool) { // want "exported telemetry method AndGuard dereferences its receiver without the nil guard"
+	if b == nil && ready {
+		return
+	}
+	b.n++
+}
+
+type Server struct{ addr string }
+
+// GuardNoReturn checks nil but keeps going, so the dereference below
+// is still reachable on a nil receiver.
+func (s *Server) GuardNoReturn() string { // want "exported telemetry method GuardNoReturn dereferences its receiver without the nil guard"
+	if s == nil {
+		_ = 0
+	}
+	return s.addr
+}

@@ -8,6 +8,7 @@ package c45
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -36,6 +37,11 @@ type Config struct {
 	// Obs, when non-nil, records node-count and depth metrics per Train
 	// call. Nil disables recording.
 	Obs *obs.Observer
+	// Log, when it wraps a non-nil logger, receives one structured
+	// DEBUG record per Train call (tree size and depth). The zero
+	// handle disables logging; the handle (not a bare *slog.Logger)
+	// keeps Config gob-encodable for model serialization.
+	Log obs.LogHandle
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +109,11 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 	if cfg.Obs != nil {
 		cfg.Obs.Counter("c45.nodes").Add(int64(m.Size()))
 		cfg.Obs.Gauge("c45.depth").Set(float64(m.Depth()))
+	}
+	if cfg.Log.Logger != nil {
+		cfg.Log.Debug("C4.5 tree trained",
+			slog.Int("nodes", m.Size()),
+			slog.Int("depth", m.Depth()))
 	}
 	return m, nil
 }
@@ -306,6 +317,7 @@ func pessimisticErrors(e, n int, cf float64) float64 {
 // prune applies subtree replacement bottom-up: a subtree is replaced by
 // a leaf when the leaf's pessimistic error estimate does not exceed the
 // subtree's.
+//
 //vet:ignore guardloop recursion bounded by the already-built tree, whose growth was guarded
 func prune(nd *node, cf float64) float64 {
 	if nd.feature < 0 {

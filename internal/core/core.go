@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"dfpc/internal/c45"
@@ -143,6 +144,13 @@ type Config struct {
 	// disables instrumentation at zero cost. Observers are never
 	// serialized with saved models.
 	Obs *obs.Observer
+	// Log, when it wraps a non-nil logger, receives structured records
+	// for every Fit call: stage-scoped DEBUG detail from mining,
+	// selection, and learning, and a WARN per degradation (min_sup
+	// escalations, non-converged SMO solves). The zero handle — the
+	// default — disables logging at zero cost. Loggers are never
+	// serialized with saved models (the handle gob-encodes as nothing).
+	Log obs.LogHandle
 }
 
 // BudgetPolicy selects the response to mining's pattern-budget trip.
@@ -239,10 +247,14 @@ type FitStats struct {
 }
 
 // warn appends a degradation record to the current fit's stats and
-// mirrors it onto the observer.
+// mirrors it onto the observer and the structured log.
 func (p *Pipeline) warn(stage, msg string) {
 	p.Stats.Warnings = append(p.Stats.Warnings, Warning{Stage: stage, Message: msg})
 	p.cfg.Obs.Counter("core.warnings").Inc()
+	if p.cfg.Log.Logger != nil {
+		p.cfg.Log.Warn("pipeline degradation",
+			slog.String("stage", stage), slog.String("detail", msg))
+	}
 }
 
 // stageDeadline resolves the per-stage wall-clock bound.
@@ -456,6 +468,14 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 		Attr("features", p.numItems+len(p.patterns))
 	err = p.learn(ctx, x, b.Labels, b.NumClasses())
 	ls.End()
+	if err == nil && p.cfg.Log.Logger != nil {
+		p.cfg.Log.Debug("fit done",
+			slog.String("learner", p.cfg.Learner.String()),
+			slog.Int("rows", len(rows)),
+			slog.Int("items", p.numItems),
+			slog.Int("pattern_features", len(p.patterns)),
+			slog.Int("warnings", len(p.Stats.Warnings)))
+	}
 	return err
 }
 
@@ -516,6 +536,15 @@ func (p *Pipeline) SetObserver(o *obs.Observer) { p.cfg.Obs = o }
 // instrumentation is off).
 func (p *Pipeline) Observer() *obs.Observer { return p.cfg.Obs }
 
+// SetLogger installs (or, with nil, removes) the structured logger that
+// receives this pipeline's stage records and degradation warnings.
+// Equivalent to configuring Config.Log at construction time.
+func (p *Pipeline) SetLogger(l *slog.Logger) { p.cfg.Log = obs.Log(l) }
+
+// Logger returns the currently installed structured logger (nil when
+// logging is off).
+func (p *Pipeline) Logger() *slog.Logger { return p.cfg.Log.Logger }
+
 // selectSVMC runs a small inner cross-validation over cfg.CGrid on the
 // training rows and returns the best C, which it also installs in the
 // pipeline's configuration for the final fit.
@@ -538,8 +567,10 @@ func (p *Pipeline) selectSVMC(ctx context.Context, d *dataset.Dataset, rows []in
 		cfg.CGrid = nil
 		cfg.SVMC = c
 		// Inner CV fits are bookkeeping, not pipeline stages: detach the
-		// observer so they neither nest spans nor double-count counters.
+		// observer and logger so they neither nest spans nor double-count
+		// counters nor flood the log with inner-fold detail.
 		cfg.Obs = nil
+		cfg.Log = obs.LogHandle{}
 		inner := &Pipeline{cfg: cfg}
 		correct, total := 0, 0
 		for f := range folds {
@@ -591,6 +622,7 @@ func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 		Ctx:       ctx,
 		Deadline:  p.stageDeadline(),
 		Obs:       o,
+		Log:       obs.StageLogger(p.cfg.Log.Logger, "select-items"),
 	})
 	if err != nil {
 		return fmt.Errorf("core: item MMRFS: %w", err)
@@ -631,6 +663,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		Deadline:    p.stageDeadline(),
 		MemLimit:    p.cfg.MemLimit,
 		Obs:         o,
+		Log:         obs.StageLogger(p.cfg.Log.Logger, "mine"),
 	}
 	var mined []mining.Pattern
 	if p.cfg.OnBudget == DegradeOnBudget {
@@ -675,6 +708,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		Ctx:       ctx,
 		Deadline:  p.stageDeadline(),
 		Obs:       o,
+		Log:       obs.StageLogger(p.cfg.Log.Logger, "select"),
 	})
 	if err != nil {
 		sp.End()
@@ -773,6 +807,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 	case C45Tree:
 		tree := p.cfg.Tree
 		tree.Obs = p.cfg.Obs
+		tree.Log = obs.Log(obs.StageLogger(p.cfg.Log.Logger, "learn"))
 		tree.Ctx = ctx
 		tree.Deadline = deadline
 		m, err = c45.Train(x, y, numClasses, tree)
@@ -788,6 +823,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Ctx:         ctx,
 			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
+			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
 		})
 	default:
 		m, err = svm.Train(x, y, numClasses, svm.Config{
@@ -796,6 +832,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Ctx:         ctx,
 			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
+			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
 		})
 	}
 	if err != nil {

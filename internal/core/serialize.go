@@ -10,6 +10,7 @@ import (
 	"dfpc/internal/knn"
 	"dfpc/internal/mining"
 	"dfpc/internal/nbayes"
+	"dfpc/internal/obs"
 	"dfpc/internal/svm"
 )
 
@@ -49,9 +50,12 @@ func (p *Pipeline) Save(w io.Writer) error {
 		Stats:    p.Stats,
 		Learner:  p.cfg.Learner,
 	}
-	// Observers are per-process recorders, not model state.
+	// Observers and loggers are per-process recorders, not model state
+	// (LogHandle additionally gob-encodes as nothing either way).
 	snap.Config.Obs = nil
 	snap.Config.Tree.Obs = nil
+	snap.Config.Log = obs.LogHandle{}
+	snap.Config.Tree.Log = obs.LogHandle{}
 	var err error
 	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
 		return err

@@ -6,6 +6,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -124,6 +125,10 @@ type CVOptions struct {
 	Obs *obs.Observer
 	// Progress, when non-nil, is called after every fold.
 	Progress ProgressFunc
+	// Log, when non-nil, receives one structured DEBUG record per
+	// completed fold and a WARN per isolated fold failure and per
+	// partial-result run. Nil disables logging.
+	Log *slog.Logger
 	// ContinueOnError isolates folds: an erroring or panicking fold is
 	// recorded in CVResult.Failures and the remaining folds still run.
 	// Mean/Std are then honest statistics over the completed folds
@@ -224,10 +229,24 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 			}
 			res.Failures = append(res.Failures, FoldError{Fold: f + 1, Err: err, Panicked: panicked})
 			opt.Obs.Counter("cv.fold_failures").Inc()
+			if opt.Log != nil {
+				opt.Log.Warn("cross-validation fold failed; continuing",
+					slog.Int("fold", f+1),
+					slog.Int("total", len(folds)),
+					slog.Bool("panicked", panicked),
+					slog.String("err", err.Error()))
+			}
 			continue
 		}
 		sp.Attr("accuracy", fmt.Sprintf("%.4f", acc)).End()
 		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+		if opt.Log != nil {
+			opt.Log.Debug("cross-validation fold done",
+				slog.Int("fold", f+1),
+				slog.Int("total", len(folds)),
+				slog.Duration("elapsed", time.Since(foldStart)),
+				slog.Float64("accuracy", acc))
+		}
 		if opt.Progress != nil {
 			opt.Progress(f+1, len(folds), time.Since(foldStart), acc)
 		}
@@ -237,6 +256,11 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 	if res.Completed == 0 && len(res.Failures) > 0 {
 		return res, fmt.Errorf("eval: all %d folds failed (first: %w): %w",
 			len(res.Failures), res.Failures[0], guard.ErrPartialResult)
+	}
+	if len(res.Failures) > 0 && opt.Log != nil {
+		opt.Log.Warn("cross-validation completed with isolated fold failures",
+			slog.Int("completed", res.Completed),
+			slog.Int("failed", len(res.Failures)))
 	}
 	return res, nil
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"dfpc/internal/core"
@@ -22,6 +23,7 @@ import (
 	"dfpc/internal/eval"
 	"dfpc/internal/featsel"
 	"dfpc/internal/mining"
+	"dfpc/internal/obs"
 	"dfpc/internal/rules"
 	"dfpc/internal/svm"
 )
@@ -72,6 +74,10 @@ type Protocol struct {
 	// ContinueOnError isolates failing CV folds: a table cell is then
 	// the mean over the completed folds instead of aborting the sweep.
 	ContinueOnError bool
+	// Log, when non-nil, receives stage-scoped DEBUG records and
+	// degradation WARN records from every pipeline fit and CV fold of
+	// the sweep. Nil disables logging.
+	Log *slog.Logger
 }
 
 func (p Protocol) withDefaults() Protocol {
@@ -115,6 +121,7 @@ func minSupFor(name string, proto Protocol) float64 {
 func cvProto(p *core.Pipeline, d *dataset.Dataset, proto Protocol) (float64, error) {
 	res, err := eval.CrossValidateContext(proto.Ctx, p, d, proto.Folds, Seed, eval.CVOptions{
 		ContinueOnError: proto.ContinueOnError,
+		Log:             proto.Log,
 	})
 	if err != nil {
 		return 0, err
@@ -146,6 +153,7 @@ func pipelineFor(family string, learner core.Learner, proto Protocol) (*core.Pip
 		MinSupport:   proto.MinSupport,
 		StageTimeout: proto.StageTimeout,
 		OnBudget:     proto.OnBudget,
+		Log:          obs.Log(proto.Log),
 	}
 	switch family {
 	case "Item_FS":

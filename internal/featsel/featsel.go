@@ -9,6 +9,7 @@ package featsel
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -73,6 +74,10 @@ type Options struct {
 	// Obs, when non-nil, records the MMRFS span, iteration/selection
 	// counters, and the final coverage residual. Nil disables recording.
 	Obs *obs.Observer
+	// Log, when non-nil, receives one structured DEBUG record per
+	// selection run (candidates, selected, coverage residual). Nil
+	// disables logging.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -284,6 +289,13 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 	// that still sit below δ when selection stops.
 	opt.Obs.Gauge("mmrfs.coverage_residual").Set(float64(coverable - fullyCovered))
 	sp.Attr("selected", len(res.Selected)).Attr("residual", coverable-fullyCovered).End()
+	if opt.Log != nil {
+		opt.Log.Debug("MMRFS selection done",
+			slog.Int("candidates", len(cands)),
+			slog.Int("selected", len(res.Selected)),
+			slog.Int("dropped", dropped),
+			slog.Int("coverage_residual", coverable-fullyCovered))
+	}
 
 	// inSel was reused to mark dropped candidates; rebuild Selected-only
 	// marks are already in res.Selected, nothing to undo.

@@ -3,6 +3,7 @@ package mining
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"dfpc/internal/dataset"
 	"dfpc/internal/guard"
@@ -95,6 +96,13 @@ func MinePerClassAdaptive(b *dataset.Binary, opt PerClassOptions, bk Backoff) ([
 			PatternsAtFailure: len(ps),
 		})
 		degradations.Inc()
+		if opt.Log != nil {
+			opt.Log.Warn("pattern budget hit; escalating min_sup",
+				slog.Int("attempt", attempt+1),
+				slog.Int("patterns_at_failure", len(ps)),
+				slog.Float64("from_min_sup", sup),
+				slog.Float64("to_min_sup", next))
+		}
 		sup = next
 	}
 }

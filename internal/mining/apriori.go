@@ -8,6 +8,12 @@ import "sort"
 // generates candidate sets explosively, illustrating why the paper
 // builds on pattern-growth miners instead.
 func Apriori(tx [][]int32, opt Options) ([]Pattern, error) {
+	ps, err := apriori(tx, opt)
+	opt.logDone("apriori", len(ps), err)
+	return ps, err
+}
+
+func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}

@@ -105,6 +105,7 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 		root[i] = node{item: c.item, tids: c.tids, count: c.count}
 	}
 	err := mine(nil, root)
+	opt.logDone("eclat", len(m.out), err)
 	return m.out, err
 }
 

@@ -55,6 +55,7 @@ func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
 	}
 	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
+	opt.logDone("fpclose", len(m.out), err)
 	return m.out, err
 }
 

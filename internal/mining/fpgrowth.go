@@ -31,6 +31,7 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 	}
 	tree := buildTree(tx, w, opt.MinSupport, m.nodes)
 	err := m.mine(tree, nil)
+	opt.logDone("fpgrowth", len(m.out), err)
 	return m.out, err
 }
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -79,6 +80,29 @@ type Options struct {
 	// FP-tree nodes built, subsumption prunes, Eclat intersections,
 	// Apriori candidates. Nil disables recording at no cost.
 	Obs *obs.Observer
+	// Log, when non-nil, receives one structured DEBUG record per
+	// mining run (algorithm, min_sup, patterns found). Nil — the
+	// default — disables logging at the cost of one nil check.
+	Log *slog.Logger
+}
+
+// logDone emits the run-completion record shared by the four miners.
+func (o Options) logDone(algo string, patterns int, err error) {
+	if o.Log == nil {
+		return
+	}
+	if err != nil {
+		o.Log.Debug("mining run stopped",
+			slog.String("algo", algo),
+			slog.Int("min_sup", o.MinSupport),
+			slog.Int("patterns", patterns),
+			slog.String("err", err.Error()))
+		return
+	}
+	o.Log.Debug("mining run done",
+		slog.String("algo", algo),
+		slog.Int("min_sup", o.MinSupport),
+		slog.Int("patterns", patterns))
 }
 
 // guard builds the run's execution guard; nil (free) when the options

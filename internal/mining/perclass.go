@@ -3,6 +3,7 @@ package mining
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"dfpc/internal/dataset"
@@ -42,6 +43,10 @@ type PerClassOptions struct {
 	// Obs, when non-nil, records one span per class partition plus the
 	// mining counters (see Options.Obs). Nil disables recording.
 	Obs *obs.Observer
+	// Log, when non-nil, receives one structured DEBUG record per class
+	// partition and per run; the adaptive wrapper additionally emits a
+	// WARN per min_sup escalation. Nil disables logging.
+	Log *slog.Logger
 }
 
 // MinePerClass partitions the binary dataset by class, mines each
@@ -85,6 +90,7 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 			Deadline:   opt.Deadline,
 			MemLimit:   opt.MemLimit,
 			Obs:        opt.Obs,
+			Log:        opt.Log,
 		}
 		if budget > 0 {
 			remaining := budget - len(union)
@@ -117,11 +123,23 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 			union = append(union, p)
 		}
 		sp.Attr("patterns", len(ps)).End()
+		if opt.Log != nil {
+			opt.Log.Debug("class partition mined",
+				slog.Int("class", c),
+				slog.Int("rows", len(rows)),
+				slog.Int("abs_min_sup", abs),
+				slog.Int("patterns", len(ps)))
+		}
 		if err != nil {
 			return union, err
 		}
 	}
 	opt.Obs.Counter("mine.patterns_union").Add(int64(len(union)))
+	if opt.Log != nil {
+		opt.Log.Debug("per-class mining done",
+			slog.Float64("min_sup", opt.MinSupport),
+			slog.Int("union", len(union)))
+	}
 	SortPatterns(union)
 	return union, nil
 }

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(42) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	var o *Observer
+	if o.Histogram("x") != nil {
+		t.Fatal("nil observer must hand out nil histograms")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, -5, 1, 2, 3, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	// -5 clamps to 0; sum = 0+0+1+2+3+1000+2^40.
+	want := int64(1+2+3+1000) + 1<<40
+	if got := h.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	s := h.Snapshot()
+	var total int64
+	for i, b := range s.Buckets {
+		if b.Count <= 0 {
+			t.Fatalf("snapshot bucket %d has non-positive count %d", i, b.Count)
+		}
+		if i > 0 && b.UpperBound <= s.Buckets[i-1].UpperBound {
+			t.Fatalf("bucket bounds not ascending: %v", s.Buckets)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+	// Zeros (0 and clamped -5) land in the zero bucket.
+	if s.Buckets[0].UpperBound != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v, want {0 2}", s.Buckets[0])
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	cases := map[int]int64{
+		-1: 0, 0: 0, 1: 1, 2: 3, 3: 7, 10: 1023,
+		63: math.MaxInt64, 64: math.MaxInt64,
+	}
+	for i, want := range cases {
+		if got := BucketUpperBound(i); got != want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 samples spread over [1, 100]: quantiles must land in range
+	// and be monotone in q.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if p50 <= 0 || p50 > 127 {
+		t.Fatalf("p50 = %d out of plausible range", p50)
+	}
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%d p90=%d p99=%d", p50, p90, p99)
+	}
+	if p99 > 127 { // 100 lives in the (63,127] bucket
+		t.Fatalf("p99 = %d beyond the top occupied bucket", p99)
+	}
+	// Degenerate and clamped arguments.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile must be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed + int64(i))
+				_ = h.Snapshot() // concurrent reads must be race-free
+			}
+		}(int64(w * 100))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestObserverHistogramRegistry(t *testing.T) {
+	o := New()
+	o.Histogram("lat").Observe(10)
+	o.Histogram("lat").Observe(20)
+	if got := o.Histogram("lat").Count(); got != 2 {
+		t.Fatalf("registry returned a fresh histogram: count %d", got)
+	}
+	o.Reset()
+	if got := o.Histogram("lat").Count(); got != 0 {
+		t.Fatalf("Reset kept histogram samples: count %d", got)
+	}
+}
+
+func TestSpanEndFeedsStageHistograms(t *testing.T) {
+	o := New()
+	sp := o.Start("mine")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // double End must not double-record
+
+	d := o.Histogram("stage.mine.duration_ns")
+	if got := d.Count(); got != 1 {
+		t.Fatalf("duration histogram count = %d, want 1", got)
+	}
+	if d.Sum() < int64(time.Millisecond)/2 {
+		t.Fatalf("duration histogram sum %d implausibly small", d.Sum())
+	}
+	if got := o.Histogram("stage.mine.alloc_bytes").Count(); got != 1 {
+		t.Fatalf("alloc histogram count = %d, want 1", got)
+	}
+
+	rep := o.Report("run")
+	hs, ok := rep.Histograms["stage.mine.duration_ns"]
+	if !ok {
+		t.Fatalf("report is missing the stage histogram; have %v", rep.Histograms)
+	}
+	if hs.Count != 1 || hs.P50 <= 0 {
+		t.Fatalf("report snapshot = %+v, want count 1 and positive p50", hs)
+	}
+
+	// Histograms must survive the JSON round trip.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms["stage.mine.duration_ns"].Count != 1 {
+		t.Fatal("histogram lost in JSON round trip")
+	}
+
+	// And render in the tree view.
+	var tree strings.Builder
+	rep.WriteTree(&tree)
+	if !strings.Contains(tree.String(), "histograms:") ||
+		!strings.Contains(tree.String(), "stage.mine.duration_ns") {
+		t.Fatalf("tree output missing histogram section:\n%s", tree.String())
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	lg := DiscardLogger()
+	if lg == nil {
+		t.Fatal("DiscardLogger returned nil")
+	}
+	lg.Info("dropped", "k", "v") // must not panic or print
+	if lg.Enabled(nil, 12) {     // far above any level
+		t.Fatal("discard handler claims to be enabled")
+	}
+	if StageLogger(nil, "mine") != nil {
+		t.Fatal("StageLogger(nil) must stay nil")
+	}
+	if StageLogger(lg, "mine") == nil {
+		t.Fatal("StageLogger on a real logger must not be nil")
+	}
+}

@@ -37,17 +37,19 @@ type Observer struct {
 	spans   []*Span // top-level (root) spans, in start order
 	stack   []*Span // currently open spans, innermost last
 
-	regMu    sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	regMu      sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // New returns an enabled Observer.
 func New() *Observer {
 	return &Observer{
-		started:  time.Now(),
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
+		started:    time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -67,6 +69,7 @@ func (o *Observer) Reset() {
 	o.regMu.Lock()
 	o.counters = map[string]*Counter{}
 	o.gauges = map[string]*Gauge{}
+	o.histograms = map[string]*Histogram{}
 	o.regMu.Unlock()
 }
 
@@ -139,20 +142,30 @@ func (s *Span) Attr(key string, value any) *Span {
 
 // End closes the span, recording wall time and allocation delta, and
 // pops it (plus any unclosed children) off the observer's open stack.
-// Ending a span twice keeps the first measurement.
+// The first close also feeds the stage's latency and allocation
+// histograms (stage.<name>.duration_ns / stage.<name>.alloc_bytes), so
+// /metrics scrapes see live per-stage distributions while a run is
+// still in flight. Ending a span twice keeps the first measurement.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	closed := false
 	if !s.done {
 		s.done = true
+		closed = true
 		s.wall = time.Since(s.start)
 		if a := totalAlloc(); a > s.allocStart {
 			s.alloc = a - s.allocStart
 		}
 	}
+	wall, alloc := s.wall, s.alloc
 	s.mu.Unlock()
+	if closed {
+		s.o.Histogram("stage." + s.name + ".duration_ns").Observe(int64(wall))
+		s.o.Histogram("stage." + s.name + ".alloc_bytes").Observe(int64(alloc))
+	}
 	o := s.o
 	o.mu.Lock()
 	for i := len(o.stack) - 1; i >= 0; i-- {

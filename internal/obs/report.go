@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -26,12 +27,13 @@ func (s *SpanReport) Wall() time.Duration { return time.Duration(s.WallNS) }
 // losslessly through encoding/json and feeds the BENCH_*.json
 // trajectory files.
 type RunReport struct {
-	Name      string             `json:"name,omitempty"`
-	StartedAt time.Time          `json:"started_at"`
-	WallNS    int64              `json:"wall_ns"`
-	Spans     []*SpanReport      `json:"spans,omitempty"`
-	Counters  map[string]int64   `json:"counters,omitempty"`
-	Gauges    map[string]float64 `json:"gauges,omitempty"`
+	Name       string                       `json:"name,omitempty"`
+	StartedAt  time.Time                    `json:"started_at"`
+	WallNS     int64                        `json:"wall_ns"`
+	Spans      []*SpanReport                `json:"spans,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Report snapshots the observer into a RunReport named name. Open spans
@@ -46,11 +48,12 @@ func (o *Observer) Report(name string) *RunReport {
 	started := o.started
 	o.mu.Unlock()
 	r := &RunReport{
-		Name:      name,
-		StartedAt: started,
-		WallNS:    int64(time.Since(started)),
-		Counters:  o.counterValues(),
-		Gauges:    o.gaugeValues(),
+		Name:       name,
+		StartedAt:  started,
+		WallNS:     int64(time.Since(started)),
+		Counters:   o.counterValues(),
+		Gauges:     o.gaugeValues(),
+		Histograms: o.histogramValues(),
 	}
 	for _, s := range spans {
 		r.Spans = append(r.Spans, s.report())
@@ -113,6 +116,30 @@ func (r *RunReport) WriteTree(w io.Writer) {
 		for _, k := range sortedKeys(r.Gauges) {
 			fmt.Fprintf(w, "  %-38s %g\n", k, r.Gauges[k])
 		}
+	}
+	if len(r.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, k := range sortedKeys(r.Histograms) {
+			h := r.Histograms[k]
+			fmt.Fprintf(w, "  %-38s n=%d p50=%s p90=%s p99=%s\n",
+				k, h.Count, fmtHistSample(k, h.P50), fmtHistSample(k, h.P90), fmtHistSample(k, h.P99))
+		}
+	}
+}
+
+// fmtHistSample renders one histogram quantile, using duration or byte
+// units when the histogram's name declares them.
+func fmtHistSample(name string, v int64) string {
+	switch {
+	case strings.HasSuffix(name, "_ns"):
+		return time.Duration(v).Round(time.Microsecond).String()
+	case strings.HasSuffix(name, "_bytes"):
+		if v < 0 {
+			v = 0
+		}
+		return fmtBytes(uint64(v))
+	default:
+		return strconv.FormatInt(v, 10)
 	}
 }
 

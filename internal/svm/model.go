@@ -3,6 +3,7 @@ package svm
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"dfpc/internal/guard"
@@ -35,6 +36,10 @@ type Config struct {
 	// Obs, when non-nil, records SMO iteration and support-vector
 	// counters per Train call. Nil disables recording.
 	Obs *obs.Observer
+	// Log, when non-nil, receives one structured DEBUG record per Train
+	// call plus a WARN when any SMO subproblem exhausts MaxIter before
+	// converging. Nil disables logging.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -143,6 +148,18 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		cfg.Obs.Counter("svm.binary_problems").Add(int64(len(m.pairs)))
 		if n := m.NonConverged(); n > 0 {
 			cfg.Obs.Counter("svm.nonconverged").Add(int64(n))
+		}
+	}
+	if cfg.Log != nil {
+		cfg.Log.Debug("SVM trained",
+			slog.Int("binary_problems", len(m.pairs)),
+			slog.Int("support_vectors", m.SupportVectors()),
+			slog.Int("smo_iterations", m.Iterations()))
+		if n := m.NonConverged(); n > 0 {
+			cfg.Log.Warn("SMO did not converge on every subproblem",
+				slog.Int("nonconverged", n),
+				slog.Int("binary_problems", len(m.pairs)),
+				slog.Int("max_iter", cfg.MaxIter))
 		}
 	}
 	return m, nil

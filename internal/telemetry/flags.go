@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"dfpc/internal/obs"
+)
+
+// Flags is the telemetry flag set shared by the dfpc, dfpc-mine, and
+// experiments CLIs. Register it on the command's FlagSet, parse, then
+// Start a Session.
+type Flags struct {
+	// Listen is the debug server address; empty disables the server.
+	Listen string
+	// LogFormat selects the slog handler: "text" or "json".
+	LogFormat string
+	// Journal is the JSONL run-journal path; empty disables journaling.
+	Journal string
+}
+
+// Register installs the -listen, -log-format, and -journal flags.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	if f == nil {
+		return
+	}
+	fs.StringVar(&f.Listen, "listen", "", "serve /metrics, /runs, /healthz and /debug/pprof on this address (e.g. :9090)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&f.Journal, "journal", "", "append one JSONL record per run to this file")
+}
+
+// NeedsObserver reports whether the flags require a live observer even
+// when the user did not ask for a report: the debug server scrapes it
+// and the journal aggregates its spans.
+func (f *Flags) NeedsObserver() bool {
+	return f != nil && (f.Listen != "" || f.Journal != "")
+}
+
+// Session is a CLI's telemetry lifetime: the root logger, the debug
+// server (if -listen), the journal (if -journal), and the /runs ring
+// buffer. Construct with Flags.Start; a nil *Session is valid and
+// inert. Close it before exit — including on error paths, since
+// os.Exit skips deferred calls.
+type Session struct {
+	// Log is the process root logger, always non-nil on a session
+	// returned by Start: stderr, with component and run_id attributes,
+	// at debug level when the CLI's -verbose flag is set.
+	Log   *slog.Logger
+	RunID string
+
+	journal *Journal
+	server  *Server
+	runs    *RunBuffer
+}
+
+// Start opens the session: builds the root logger, opens the journal,
+// and binds + serves the debug server until ctx is canceled or the
+// session is closed. component names the CLI in logs and journal
+// records; verbose lowers the log level to debug.
+func (f *Flags) Start(ctx context.Context, component string, o *obs.Observer, verbose bool) (*Session, error) {
+	runID := NewRunID()
+	lvl := slog.LevelInfo
+	if verbose {
+		lvl = slog.LevelDebug
+	}
+	var h slog.Handler
+	format := "text"
+	if f != nil && f.LogFormat != "" {
+		format = f.LogFormat
+	}
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	default:
+		return nil, fmt.Errorf("telemetry: unknown -log-format %q (want text or json)", format)
+	}
+	log := slog.New(h).With(
+		slog.String("component", component),
+		slog.String("run_id", runID),
+	)
+	ses := &Session{Log: log, RunID: runID}
+	if f == nil {
+		return ses, nil
+	}
+	j, err := OpenJournal(f.Journal, component, runID)
+	if err != nil {
+		return nil, err
+	}
+	ses.journal = j
+	if f.Listen != "" {
+		ses.runs = NewRunBuffer(32)
+		ses.server = NewServer(ServerConfig{
+			Addr: f.Listen,
+			Obs:  o,
+			Runs: ses.runs,
+			Log:  log,
+		})
+		if err := ses.server.Start(ctx); err != nil {
+			_ = j.Close()
+			return nil, err
+		}
+	}
+	return ses, nil
+}
+
+// AddRun publishes a completed RunReport to the /runs ring buffer.
+func (s *Session) AddRun(r *obs.RunReport) {
+	if s == nil {
+		return
+	}
+	s.runs.Add(r)
+}
+
+// Journal appends one record to the run journal (a no-op without
+// -journal). Failures are logged, not fatal: telemetry must never
+// kill a finished run.
+func (s *Session) Journal(rec Record) {
+	if s == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil && s.Log != nil {
+		s.Log.Warn("journal append failed", slog.String("err", err.Error()))
+	}
+}
+
+// Close shuts the debug server down gracefully and closes the journal.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	if s.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = s.server.Shutdown(ctx)
+		cancel()
+	}
+	if err := s.journal.Close(); err != nil && s.Log != nil {
+		s.Log.Warn("journal close failed", slog.String("err", err.Error()))
+	}
+}
+
+// Addr returns the debug server's bound address ("" when -listen is
+// unset), for tests and startup banners.
+func (s *Session) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.server.Addr()
+}

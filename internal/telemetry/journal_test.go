@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dfpc/internal/obs"
+)
+
+func TestJournalAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	j, err := OpenJournal(path, "dfpc", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: "cv", Dataset: "heart", Folds: 5, Accuracy: 0.81}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: "fit", RunID: "custom", Component: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", len(recs)+1, err, sc.Text())
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("journal has %d records, want 2", len(recs))
+	}
+	r0 := recs[0]
+	if r0.RunID != "abc123" || r0.Component != "dfpc" || r0.Time.IsZero() {
+		t.Fatalf("record not stamped: %+v", r0)
+	}
+	if r0.Kind != "cv" || r0.Dataset != "heart" || r0.Accuracy != 0.81 {
+		t.Fatalf("record fields lost: %+v", r0)
+	}
+	// Caller-supplied identity wins over the journal's.
+	if recs[1].RunID != "custom" || recs[1].Component != "other" {
+		t.Fatalf("caller identity overwritten: %+v", recs[1])
+	}
+}
+
+func TestJournalAppendsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	for i := 0; i < 2; i++ {
+		j, err := OpenJournal(path, "dfpc", "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Kind: "mine"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("journal has %d lines after two opens, want 2", n)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	j, err := OpenJournal("", "dfpc", "r")
+	if err != nil || j != nil {
+		t.Fatalf("empty path must mean disabled journal, got %v, %v", j, err)
+	}
+	if err := j.Append(Record{Kind: "cv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var s *Session
+	s.AddRun(nil)
+	s.Journal(Record{})
+	s.Close()
+	if s.Addr() != "" {
+		t.Fatal("nil session must have no address")
+	}
+}
+
+func TestStagesFromReport(t *testing.T) {
+	o := obs.New()
+	fit := o.Start("fit")
+	o.Start("mine").End()
+	o.Start("mine").End()
+	sel := o.Start("select")
+	time.Sleep(time.Millisecond)
+	sel.End()
+	fit.End()
+
+	stages := StagesFromReport(o.Report("run"))
+	byName := map[string]StageStat{}
+	for _, s := range stages {
+		byName[s.Name] = s
+	}
+	if byName["mine"].Count != 2 {
+		t.Fatalf("mine count = %d, want 2 (aggregated)", byName["mine"].Count)
+	}
+	if byName["fit"].Count != 1 || byName["select"].Count != 1 {
+		t.Fatalf("unexpected aggregation: %+v", stages)
+	}
+	// fit contains the 1ms select, so it must sort first.
+	if stages[0].Name != "fit" {
+		t.Fatalf("stages not sorted by wall time: %+v", stages)
+	}
+	if StagesFromReport(nil) != nil {
+		t.Fatal("nil report must aggregate to nil")
+	}
+}
+
+func TestFlagsSession(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	journal := filepath.Join(t.TempDir(), "j.jsonl")
+	err := fs.Parse([]string{
+		"-listen", "127.0.0.1:0",
+		"-log-format", "json",
+		"-journal", journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.NeedsObserver() {
+		t.Fatal("listen+journal must need an observer")
+	}
+
+	o := obs.New()
+	o.Start("mine").End()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ses, err := f.Start(ctx, "dfpc-test", o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+	if ses.Log == nil || ses.RunID == "" {
+		t.Fatalf("session missing logger or run id: %+v", ses)
+	}
+	if ses.Addr() == "" {
+		t.Fatal("session with -listen must expose a bound address")
+	}
+	rep := o.Report("run")
+	ses.AddRun(rep)
+	ses.Journal(Record{Kind: "cv", Stages: StagesFromReport(rep)})
+
+	code, body := httpGet(t, "http://"+ses.Addr()+"/runs")
+	if code != 200 || !strings.Contains(body, `"name": "run"`) {
+		t.Fatalf("/runs missing published report: %d %s", code, body)
+	}
+
+	ses.Close()
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(data))), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "cv" || rec.Component != "dfpc-test" || len(rec.Stages) == 0 {
+		t.Fatalf("journal record incomplete: %+v", rec)
+	}
+}
+
+func TestFlagsBadFormat(t *testing.T) {
+	f := Flags{LogFormat: "yaml"}
+	if _, err := f.Start(context.Background(), "x", nil, false); err == nil {
+		t.Fatal("unknown -log-format must error")
+	}
+}
+
+func TestFlagsDefaultSession(t *testing.T) {
+	// No flags set: session still provides a logger, everything else
+	// inert.
+	var f *Flags
+	if f.NeedsObserver() {
+		t.Fatal("nil flags must not need an observer")
+	}
+	ses, err := (&Flags{}).Start(context.Background(), "dfpc", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+	if ses.Log == nil || ses.Addr() != "" {
+		t.Fatal("flagless session must log but not listen")
+	}
+	ses.Journal(Record{Kind: "noop"}) // disabled journal: must not panic
+}

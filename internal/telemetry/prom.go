@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dfpc/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4) for the obs registries
+// plus a sampled slice of runtime/metrics. Everything dfpc-owned is
+// prefixed dfpc_; Go runtime samples keep the conventional go_ prefix.
+//
+// obs name mapping:
+//
+//	counter  "fptree.nodes"              -> dfpc_fptree_nodes_total
+//	gauge    "mine.min_sup.resolved"     -> dfpc_mine_min_sup_resolved
+//	histogram "stage.mine.duration_ns"   -> dfpc_stage_duration_ns{stage="mine"}
+//	histogram "stage.mine.alloc_bytes"   -> dfpc_stage_alloc_bytes{stage="mine"}
+//
+// Stage histograms fold into one family per unit with the stage as a
+// label, which is what a dashboard wants to facet on; any other
+// histogram becomes its own label-less family.
+
+// WriteMetrics writes one complete scrape to w: the observer's
+// counters, gauges, and histograms followed by the Go runtime sample.
+// A nil observer writes only the runtime section.
+func WriteMetrics(w io.Writer, o *obs.Observer) error {
+	rep := o.Report("scrape")
+	if rep != nil {
+		if err := writeCounters(w, rep.Counters); err != nil {
+			return err
+		}
+		if err := writeGauges(w, rep.Gauges); err != nil {
+			return err
+		}
+		if err := writeHistograms(w, rep.Histograms); err != nil {
+			return err
+		}
+	}
+	return writeRuntimeMetrics(w)
+}
+
+func writeCounters(w io.Writer, counters map[string]int64) error {
+	for _, name := range sortedKeys(counters) {
+		fam := "dfpc_" + sanitizeMetricName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s obs counter %s\n# TYPE %s counter\n%s %d\n",
+			fam, name, fam, fam, counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeGauges(w io.Writer, gauges map[string]float64) error {
+	for _, name := range sortedKeys(gauges) {
+		fam := "dfpc_" + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s obs gauge %s\n# TYPE %s gauge\n%s %s\n",
+			fam, name, fam, fam, formatFloat(gauges[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histSeries is one histogram series within a family: its label pair
+// (empty for label-less families) and snapshot.
+type histSeries struct {
+	label string // rendered label block, e.g. {stage="mine"}
+	snap  obs.HistogramSnapshot
+}
+
+func writeHistograms(w io.Writer, hists map[string]obs.HistogramSnapshot) error {
+	families := map[string][]histSeries{}
+	for _, name := range sortedKeys(hists) {
+		fam, label := histogramFamily(name)
+		families[fam] = append(families[fam], histSeries{label: label, snap: hists[name]})
+	}
+	for _, fam := range sortedKeys(families) {
+		if _, err := fmt.Fprintf(w, "# HELP %s obs histogram\n# TYPE %s histogram\n", fam, fam); err != nil {
+			return err
+		}
+		for _, s := range families[fam] {
+			if err := writeHistogramSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histogramFamily maps an obs histogram name to its Prometheus family
+// and label block. stage.<s>.duration_ns and stage.<s>.alloc_bytes
+// fold into the per-unit stage families; everything else is label-less.
+func histogramFamily(name string) (fam, label string) {
+	if rest, ok := strings.CutPrefix(name, "stage."); ok {
+		for _, unit := range []string{"duration_ns", "alloc_bytes"} {
+			if stage, ok := strings.CutSuffix(rest, "."+unit); ok && stage != "" {
+				return "dfpc_stage_" + unit, `{stage="` + escapeLabelValue(stage) + `"}`
+			}
+		}
+	}
+	return "dfpc_" + sanitizeMetricName(name), ""
+}
+
+func writeHistogramSeries(w io.Writer, fam string, s histSeries) error {
+	// Prometheus buckets are cumulative and must end with +Inf.
+	var cum int64
+	for _, b := range s.snap.Buckets {
+		cum += b.Count
+		le := strconv.FormatInt(b.UpperBound, 10)
+		if b.UpperBound == math.MaxInt64 {
+			le = "+Inf"
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, mergeLabels(s.label, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+		if b.UpperBound == math.MaxInt64 {
+			cum = -1 // sentinel: +Inf already emitted
+			break
+		}
+	}
+	if cum >= 0 {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, mergeLabels(s.label, `le="+Inf"`), s.snap.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+		fam, s.label, s.snap.Sum, fam, s.label, s.snap.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// mergeLabels inserts extra into an existing rendered label block (or
+// opens one when the series is label-less).
+func mergeLabels(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(block, "}") + "," + extra + "}"
+}
+
+// writeRuntimeMetrics samples runtime/metrics and emits the scalar
+// kinds (uint64 and float64); histogram-kind runtime metrics are
+// skipped — the interesting distributions here are dfpc's own.
+func writeRuntimeMetrics(w io.Writer) error {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	for i, d := range descs {
+		var v float64
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			v = samples[i].Value.Float64()
+		default:
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		fam := "go" + sanitizeMetricName(d.Name)
+		typ := "gauge"
+		if d.Cumulative {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", fam, typ, fam, formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName rewrites an arbitrary obs or runtime/metrics name
+// into the Prometheus name alphabet, collapsing every other rune
+// (dots, slashes, colons) to '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a sample value the way Prometheus expects
+// (shortest round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

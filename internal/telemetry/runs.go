@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"sync"
+
+	"dfpc/internal/obs"
+)
+
+// RunBuffer keeps the last N RunReports in memory for the debug
+// server's /runs endpoint, so an operator can inspect recently
+// completed folds and runs without tailing logs. A nil *RunBuffer is a
+// valid disabled buffer.
+type RunBuffer struct {
+	mu   sync.Mutex
+	cap  int
+	runs []*obs.RunReport // oldest first
+}
+
+// NewRunBuffer returns a buffer retaining the last capacity reports
+// (a non-positive capacity defaults to 32).
+func NewRunBuffer(capacity int) *RunBuffer {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &RunBuffer{cap: capacity}
+}
+
+// Add appends a report, evicting the oldest once the buffer is full.
+// Nil reports (from a disabled observer) are ignored.
+func (b *RunBuffer) Add(r *obs.RunReport) {
+	if b == nil || r == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.runs) == b.cap {
+		copy(b.runs, b.runs[1:])
+		b.runs[len(b.runs)-1] = r
+		return
+	}
+	b.runs = append(b.runs, r)
+}
+
+// Snapshot returns the buffered reports, oldest first.
+func (b *RunBuffer) Snapshot() []*obs.RunReport {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*obs.RunReport(nil), b.runs...)
+}
+
+// Len returns the number of buffered reports.
+func (b *RunBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.runs)
+}

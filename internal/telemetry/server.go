@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"dfpc/internal/obs"
+)
+
+// ServerConfig configures a debug Server. The zero value is usable:
+// it listens on an ephemeral localhost port with no observer wired in.
+type ServerConfig struct {
+	// Addr is the listen address ("127.0.0.1:9090", ":0", ...).
+	Addr string
+	// Obs is scraped by /metrics; nil exposes only runtime metrics.
+	Obs *obs.Observer
+	// Runs backs /runs; nil serves an empty list.
+	Runs *RunBuffer
+	// Log receives server lifecycle records; nil is silent.
+	Log *slog.Logger
+}
+
+// Server is the live debug endpoint for a running CLI:
+//
+//	/metrics        Prometheus text exposition of the obs registries
+//	/healthz        liveness probe
+//	/runs           JSON ring buffer of recent RunReports
+//	/debug/pprof/*  standard net/http/pprof handlers
+//
+// Construct with NewServer, then Start. A nil *Server is valid and
+// inert, so CLIs call Start/Shutdown unconditionally.
+type Server struct {
+	cfg  ServerConfig
+	srv  *http.Server
+	mu   sync.Mutex
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewServer builds a Server from cfg without binding the port.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{cfg: cfg, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Start binds the configured address and serves in the background
+// until ctx is canceled or Shutdown is called. It returns once the
+// port is bound, so callers can immediately advertise Addr.
+func (s *Server) Start(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("debug server listening", slog.String("addr", ln.Addr().String()))
+	}
+	go func() {
+		defer close(s.done)
+		// http.Server.Serve always returns non-nil; ErrServerClosed is
+		// the orderly-shutdown signal.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && s.cfg.Log != nil {
+			s.cfg.Log.Warn("debug server stopped", slog.String("err", err.Error()))
+		}
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = s.srv.Shutdown(shctx)
+		case <-s.done:
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server, waiting for in-flight scrapes
+// up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteMetrics(w, s.cfg.Obs); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Warn("metrics scrape failed", slog.String("err", err.Error()))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	runs := s.cfg.Runs.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if runs == nil {
+		fmt.Fprintln(w, "[]")
+		return
+	}
+	if err := enc.Encode(runs); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Warn("runs encode failed", slog.String("err", err.Error()))
+	}
+}

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dfpc/internal/obs"
+)
+
+// startTestServer binds an ephemeral port and returns the base URL and
+// a cancel that shuts the server down.
+func startTestServer(t *testing.T, cfg ServerConfig) (string, context.CancelFunc) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := NewServer(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		cancel()
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+	})
+	return "http://" + s.Addr(), cancel
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// expositionLine matches one sample line of the Prometheus text
+// format: name, optional label block, space, value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? [^ ]+$`)
+
+func TestMetricsExposition(t *testing.T) {
+	o := obs.New()
+	// A hostile span name exercises label-value escaping.
+	sp := o.Start(`we"ird\stage`)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	o.Start("mine").End()
+	o.Counter("fptree.nodes").Add(42)
+	o.Gauge("mine.min_sup.resolved").Set(0.15)
+
+	base, _ := startTestServer(t, ServerConfig{Obs: o})
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE dfpc_fptree_nodes_total counter",
+		"dfpc_fptree_nodes_total 42",
+		"# TYPE dfpc_mine_min_sup_resolved gauge",
+		"dfpc_mine_min_sup_resolved 0.15",
+		"# TYPE dfpc_stage_duration_ns histogram",
+		`dfpc_stage_duration_ns_count{stage="mine"} 1`,
+		`dfpc_stage_duration_ns_bucket{stage="mine",le="+Inf"} 1`,
+		`{stage="we\"ird\\stage"}`,
+		"# TYPE go_sched_goroutines_goroutines gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Bucket counts must be cumulative and end at _count.
+	bucketRe := regexp.MustCompile(`dfpc_stage_duration_ns_bucket\{stage="mine",le="([^"]+)"\} (\d+)`)
+	var last int64 = -1
+	var infSeen bool
+	for _, m := range bucketRe.FindAllStringSubmatch(body, -1) {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", m[2], err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %v then %v", last, n)
+		}
+		last = n
+		if m[1] == "+Inf" {
+			infSeen = true
+			if n != 1 {
+				t.Fatalf("+Inf bucket = %d, want 1 (the _count)", n)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func TestMetricsNilObserver(t *testing.T) {
+	base, _ := startTestServer(t, ServerConfig{})
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if strings.Contains(body, "dfpc_") {
+		t.Fatal("nil observer must expose no dfpc_ families")
+	}
+	if !strings.Contains(body, "go_") {
+		t.Fatal("runtime metrics missing")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	base, _ := startTestServer(t, ServerConfig{})
+	code, body := httpGet(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestRunsEndpointAndEviction(t *testing.T) {
+	rb := NewRunBuffer(3)
+	for i := 0; i < 5; i++ {
+		o := obs.New()
+		o.Start("mine").End()
+		rb.Add(o.Report(fmt.Sprintf("run-%d", i)))
+	}
+	if rb.Len() != 3 {
+		t.Fatalf("ring kept %d runs, want 3", rb.Len())
+	}
+	base, _ := startTestServer(t, ServerConfig{Runs: rb})
+	code, body := httpGet(t, base+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs status = %d", code)
+	}
+	var runs []obs.RunReport
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs not JSON: %v\n%s", err, body)
+	}
+	if len(runs) != 3 || runs[0].Name != "run-2" || runs[2].Name != "run-4" {
+		names := make([]string, len(runs))
+		for i := range runs {
+			names[i] = runs[i].Name
+		}
+		t.Fatalf("ring contents = %v, want [run-2 run-3 run-4]", names)
+	}
+}
+
+func TestRunsEmpty(t *testing.T) {
+	base, _ := startTestServer(t, ServerConfig{})
+	code, body := httpGet(t, base+"/runs")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/runs on empty buffer = %d %q, want 200 []", code, body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	base, _ := startTestServer(t, ServerConfig{})
+	code, body := httpGet(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestGracefulShutdownOnCancel(t *testing.T) {
+	base, cancel := startTestServer(t, ServerConfig{})
+	if code, _ := httpGet(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatal("server not up before cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return // down, as desired
+		}
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server still serving 5s after context cancel")
+}
+
+// TestConcurrentScrape hammers /metrics while spans, counters, and
+// histograms are being recorded — the run-with-`-race` proof that a
+// scrape never tears a live observer.
+func TestConcurrentScrape(t *testing.T) {
+	o := obs.New()
+	rb := NewRunBuffer(8)
+	base, _ := startTestServer(t, ServerConfig{Obs: o, Runs: rb})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := o.Counter("work.items")
+			for i := 0; i < 200; i++ {
+				sp := o.Start(fmt.Sprintf("fold-%d", w))
+				c.Inc()
+				o.Gauge("progress").Set(float64(i))
+				sp.End()
+				if i%50 == 0 {
+					rb.Add(o.Report("inflight"))
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; ; i++ {
+		if code, _ := httpGet(t, base+"/metrics"); code != http.StatusOK {
+			t.Fatalf("scrape %d failed", i)
+		}
+		if code, _ := httpGet(t, base+"/runs"); code != http.StatusOK {
+			t.Fatalf("runs scrape %d failed", i)
+		}
+		select {
+		case <-done:
+		default:
+			if i < 1000 {
+				continue
+			}
+		}
+		break
+	}
+	wg.Wait()
+
+	_, body := httpGet(t, base+"/metrics")
+	if !strings.Contains(body, `dfpc_stage_duration_ns_count{stage="fold-0"}`) {
+		t.Fatal("final scrape missing live stage histogram")
+	}
+}
+
+func TestServerNilSafe(t *testing.T) {
+	var s *Server
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != "" {
+		t.Fatal("nil server must have no address")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var rb *RunBuffer
+	rb.Add(&obs.RunReport{})
+	if rb.Len() != 0 || rb.Snapshot() != nil {
+		t.Fatal("nil RunBuffer must be inert")
+	}
+}

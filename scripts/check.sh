@@ -3,8 +3,26 @@
 # suite under the race detector (wall-clock bounded so a hung test fails
 # the gate instead of wedging it), and a short fuzz smoke over the
 # dataset parsers. CI and pre-commit both run this.
+#
+# `check.sh bench` instead runs the bench-regression gate: it rebuilds
+# the per-stage pipeline benchmark (experiments -benchjson) and diffs
+# it against the committed BENCH_pipeline.json with cmd/benchdiff,
+# failing if any stage's wall time regressed more than 30% (override
+# with BENCH_THRESHOLD=0.50). Timing gates are noisy on shared runners,
+# so CI runs this step non-blocking; run it locally before and after
+# performance-sensitive changes.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "bench" ]; then
+	out="${BENCH_OUT:-/tmp/BENCH_pipeline.new.json}"
+	echo ">> go run ./cmd/experiments -benchjson $out"
+	go run ./cmd/experiments -benchjson "$out"
+	echo ">> go run ./cmd/benchdiff BENCH_pipeline.json $out"
+	go run ./cmd/benchdiff BENCH_pipeline.json "$out"
+	echo "OK (bench)"
+	exit 0
+fi
 
 echo ">> go vet ./..."
 go vet ./...
