@@ -12,6 +12,7 @@ package dfpc
 // -v run doubles as a results transcript.
 
 import (
+	"fmt"
 	"log/slog"
 	"math/rand"
 	"testing"
@@ -304,6 +305,41 @@ func BenchmarkEndToEndPatFS(b *testing.B) {
 		if _, err := clf.Predict(d, rows[:50]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPipelineParallel runs the BENCH_pipeline.json configuration
+// (3-fold CV, Pat_FS+SVM, min_sup 0.15, austral) at several worker
+// counts. Folds, per-class mining, the MMRFS gain scan, and the
+// one-vs-one SVM subproblems all schedule through internal/parallel, so
+// on a multi-core machine the workers=GOMAXPROCS variant should
+// approach fold-level speedup; on one core every variant collapses to
+// the same sequential path. Results are identical at every count —
+// that is the layer's contract, pinned by TestDeterminismAcrossWorkerCounts.
+func BenchmarkPipelineParallel(b *testing.B) {
+	d, err := Generate("austral", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clf := NewClassifier(PatFS, SVM,
+					WithMinSupport(0.15), WithWorkers(w))
+				res, err := CrossValidateContext(nil, clf, d, 3, 1,
+					CVOptions{Workers: Workers(w)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s accuracy %.2f%% ± %.2f", name, 100*res.Mean, 100*res.Std)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,22 @@
 //
 // Exit status: 0 when every compared stage is within the threshold,
 // 1 when at least one regressed, 2 on usage or parse errors.
+//
+// With -expect-speedup the tool switches from regression gating to
+// speedup verification: the first document is a sequential (workers=1)
+// run, the second a parallel one, and the comparison is per-run
+// elapsed wall clock rather than per-stage sums — summed span times
+// are parallelism-invariant by design (each fold's work costs the same
+// no matter when it runs), so only run-level elapsed time can show a
+// speedup. The gate fails (exit 1) when the overall speedup falls
+// short of the expected factor:
+//
+//	go run ./cmd/experiments -benchjson /tmp/seq.json -workers 1
+//	go run ./cmd/experiments -benchjson /tmp/par.json -workers 0
+//	go run ./cmd/benchdiff -expect-speedup 1.3 /tmp/seq.json /tmp/par.json
+//
+// Wall-clock speedups are hardware-dependent (a single-core machine
+// legitimately measures 1.0×), so CI runs this mode non-blocking.
 package main
 
 import (
@@ -37,6 +53,7 @@ type benchDoc struct {
 	Benchmark string           `json:"benchmark"`
 	Folds     int              `json:"folds"`
 	MinSup    float64          `json:"min_sup"`
+	Workers   int              `json:"workers,omitempty"`
 	Runs      []*obs.RunReport `json:"runs"`
 }
 
@@ -45,9 +62,12 @@ func main() {
 		"max allowed per-stage slowdown vs baseline (0.30 = 30%; env BENCH_THRESHOLD sets the default)")
 	minWall := flag.Duration("min-wall", 5*time.Millisecond,
 		"skip stages whose summed baseline wall time is below this (noise floor)")
+	expectSpeedup := flag.Float64("expect-speedup", 0,
+		"compare run-level wall clock instead of per-stage sums and require\nSEQUENTIAL.json to be at least this factor slower than PARALLEL.json (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff [flags] BASELINE.json CURRENT.json\n")
+			"usage: benchdiff [flags] BASELINE.json CURRENT.json\n"+
+				"       benchdiff -expect-speedup FACTOR SEQUENTIAL.json PARALLEL.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +86,9 @@ func main() {
 	if base.Benchmark != cur.Benchmark || base.Folds != cur.Folds {
 		fail(fmt.Errorf("documents are not comparable: baseline %q/%d folds vs current %q/%d folds",
 			base.Benchmark, base.Folds, cur.Benchmark, cur.Folds))
+	}
+	if *expectSpeedup > 0 {
+		os.Exit(speedupMode(base, cur, *expectSpeedup))
 	}
 
 	baseStages := aggregate(base)
@@ -116,6 +139,60 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ok: all compared stages within %.0f%% of baseline\n", 100**threshold)
+}
+
+// speedupMode compares per-run elapsed wall clock between a sequential
+// and a parallel benchmark document and returns the process exit code:
+// 0 when the overall speedup (summed sequential wall over summed
+// parallel wall) meets the expected factor, 1 when it falls short.
+// Per-stage span sums deliberately play no part here — they measure
+// work, which parallelism does not reduce, only overlaps.
+func speedupMode(seq, par *benchDoc, want float64) int {
+	parRuns := map[string]*obs.RunReport{}
+	for _, r := range par.Runs {
+		parRuns[r.Name] = r
+	}
+	seqLabel, parLabel := workersLabel(seq.Workers), workersLabel(par.Workers)
+	var seqTotal, parTotal int64
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "dataset\twall (%s)\twall (%s)\tspeedup\n", seqLabel, parLabel)
+	for _, r := range seq.Runs {
+		p, ok := parRuns[r.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%v\t-\t-\n", r.Name, round(r.WallNS))
+			continue
+		}
+		seqTotal += r.WallNS
+		parTotal += p.WallNS
+		ratio := "-"
+		if p.WallNS > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(r.WallNS)/float64(p.WallNS))
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%s\n", r.Name, round(r.WallNS), round(p.WallNS), ratio)
+	}
+	tw.Flush()
+	if parTotal == 0 || seqTotal == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping runs with nonzero wall time")
+		return 2
+	}
+	overall := float64(seqTotal) / float64(parTotal)
+	fmt.Printf("overall wall-clock speedup: %.2fx (expected >= %.2fx)\n", overall, want)
+	if overall < want {
+		fmt.Printf("FAIL: speedup %.2fx below expected %.2fx (hardware-dependent: a single-core machine measures ~1.0x)\n",
+			overall, want)
+		return 1
+	}
+	fmt.Println("ok: parallel run meets the expected speedup")
+	return 0
+}
+
+// workersLabel renders a document's recorded worker count for table
+// headers; older documents carry no workers field.
+func workersLabel(w int) string {
+	if w <= 0 {
+		return "workers=?"
+	}
+	return fmt.Sprintf("workers=%d", w)
 }
 
 // defaultThreshold reads BENCH_THRESHOLD, falling back to 0.30 when

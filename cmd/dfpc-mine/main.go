@@ -28,6 +28,7 @@ import (
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
 )
 
@@ -48,6 +49,7 @@ func main() {
 
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the mining run (0 = unbounded)")
 		onBudget = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
+		workers  = flag.Int("workers", 1, "worker goroutines for per-class mining (0 = all CPUs; the mined union is identical at any count)")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -120,6 +122,7 @@ func main() {
 		Ctx:         ctx,
 		Obs:         o,
 		Log:         obs.StageLogger(ses.Log, "mine"),
+		Workers:     parallel.Workers(*workers),
 	}
 	var ps []mining.Pattern
 	var degs []mining.Degradation

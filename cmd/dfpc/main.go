@@ -24,6 +24,7 @@ import (
 
 	"dfpc"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
 		onBudget     = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 		contOnError  = flag.Bool("continue-on-error", false, "isolate failing CV folds and report statistics over the completed ones")
+		workers      = flag.Int("workers", 1, "worker goroutines for CV folds, mining, MMRFS, and SVM (0 = all CPUs; results are identical at any count)")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -131,6 +133,7 @@ func main() {
 	if *stageTimeout > 0 {
 		opts = append(opts, dfpc.WithStageTimeout(*stageTimeout))
 	}
+	opts = append(opts, dfpc.WithWorkers(*workers))
 	switch strings.ToLower(*onBudget) {
 	case "", "fail":
 	case "degrade":
@@ -163,6 +166,7 @@ func main() {
 		Obs:             o,
 		Log:             ses.Log,
 		ContinueOnError: *contOnError,
+		Workers:         parallel.Workers(*workers),
 	})
 	if err != nil {
 		switch {

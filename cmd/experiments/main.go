@@ -30,6 +30,7 @@ import (
 	"dfpc/internal/datagen"
 	"dfpc/internal/experiments"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
 )
 
@@ -48,6 +49,7 @@ func main() {
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
 	onBudget := flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 	contOnError := flag.Bool("continue-on-error", false, "isolate failing CV folds; table cells then cover the completed folds")
+	workers := flag.Int("workers", 1, "worker goroutines for CV folds, mining, MMRFS, and SVM (0 = all CPUs; results are identical at any count)")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	var tf telemetry.Flags
@@ -78,6 +80,7 @@ func main() {
 		csvDir:       *csvDir,
 		stageTimeout: *stageTimeout,
 		contOnError:  *contOnError,
+		workers:      parallel.Workers(*workers),
 		ctx:          context.Background(),
 	}
 	switch strings.ToLower(*onBudget) {
@@ -104,7 +107,7 @@ func main() {
 	cfg.log = ses.Log
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, ses); err != nil {
+		if err := runBenchJSON(*benchJSON, ses, cfg.workers); err != nil {
 			fail(err)
 		}
 		return
@@ -202,6 +205,7 @@ type runConfig struct {
 	stageTimeout time.Duration
 	onBudget     core.BudgetPolicy
 	contOnError  bool
+	workers      parallel.Workers
 }
 
 // protocol builds the experiments.Protocol carrying the run's
@@ -213,6 +217,7 @@ func (c runConfig) protocol() experiments.Protocol {
 		StageTimeout:    c.stageTimeout,
 		OnBudget:        c.onBudget,
 		ContinueOnError: c.contOnError,
+		Workers:         c.workers,
 		Log:             c.log,
 	}
 }
@@ -226,23 +231,27 @@ var benchDatasets = []string{"austral", "breast", "heart"}
 // (one RunReport per dataset) as a single JSON document. The output
 // seeds the repo's performance trajectory: the check.sh bench gate
 // diffs a fresh BENCH_pipeline.json against the committed one.
-func runBenchJSON(path string, ses *telemetry.Session) error {
+func runBenchJSON(path string, ses *telemetry.Session, workers parallel.Workers) error {
 	type doc struct {
 		Benchmark string            `json:"benchmark"`
 		Folds     int               `json:"folds"`
 		MinSup    float64           `json:"min_sup"`
+		Workers   int               `json:"workers,omitempty"`
 		Runs      []*dfpc.RunReport `json:"runs"`
 	}
 	const minSup = 0.15
-	out := doc{Benchmark: "pipeline-stages", Folds: 3, MinSup: minSup}
+	out := doc{Benchmark: "pipeline-stages", Folds: 3, MinSup: minSup,
+		Workers: workers.Resolve()}
 	for _, name := range benchDatasets {
 		d, err := dfpc.Generate(name, 1)
 		if err != nil {
 			return err
 		}
 		o := dfpc.NewObserver()
-		clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM, dfpc.WithMinSupport(minSup))
-		res, err := dfpc.CrossValidateObserved(clf, d, out.Folds, 1, o, nil)
+		clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM,
+			dfpc.WithMinSupport(minSup), dfpc.WithWorkers(int(workers)))
+		res, err := dfpc.CrossValidateContext(context.Background(), clf, d, out.Folds, 1,
+			dfpc.CVOptions{Obs: o, Workers: workers})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -1,0 +1,113 @@
+package dfpc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The parallel execution layer's contract (internal/parallel, threaded
+// through mining, MMRFS, SVM, and the CV harness) is that the worker
+// count is invisible in every result: same selected patterns, same
+// predictions, same fold accuracies. This suite pins the contract end
+// to end on two datasets; check.sh runs it under the race detector.
+
+// fitSignature fits one classifier and captures everything the worker
+// count could plausibly perturb: the selected pattern features, the
+// mined/selected counts, and the predictions on a held-out split.
+type fitSignature struct {
+	patterns    []string
+	minedCount  int
+	featCount   int
+	predictions []int
+}
+
+func fitOnce(t *testing.T, d *Dataset, workers int) fitSignature {
+	t.Helper()
+	train, test, err := TrainTestSplit(d, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := NewClassifier(PatFS, SVM,
+		WithMinSupport(0.15), WithWorkers(workers))
+	if err := clf.Fit(d, train); err != nil {
+		t.Fatalf("workers=%d: fit: %v", workers, err)
+	}
+	pred, err := clf.Predict(d, test)
+	if err != nil {
+		t.Fatalf("workers=%d: predict: %v", workers, err)
+	}
+	var sig fitSignature
+	for _, fr := range clf.Explain() {
+		sig.patterns = append(sig.patterns,
+			fmt.Sprintf("%s|%d|%.9f", fr.Name, fr.Support, fr.InfoGain))
+	}
+	sig.minedCount = clf.Stats.MinedCount
+	sig.featCount = clf.Stats.FeatureCount
+	sig.predictions = pred
+	return sig
+}
+
+// TestDeterminismAcrossWorkerCounts: fitted model, selected patterns,
+// and predictions are byte-identical at workers 1, 2, and 8.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	for _, name := range []string{"austral", "breast"} {
+		t.Run(name, func(t *testing.T) {
+			d, err := Generate(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := fitOnce(t, d, 1)
+			if len(base.patterns) == 0 {
+				t.Fatal("baseline selected no patterns; test would be vacuous")
+			}
+			for _, w := range []int{2, 8} {
+				got := fitOnce(t, d, w)
+				if !reflect.DeepEqual(got.patterns, base.patterns) {
+					t.Errorf("workers=%d: selected patterns diverge from sequential", w)
+				}
+				if got.minedCount != base.minedCount || got.featCount != base.featCount {
+					t.Errorf("workers=%d: stats (%d mined, %d selected) != (%d, %d)",
+						w, got.minedCount, got.featCount, base.minedCount, base.featCount)
+				}
+				if !reflect.DeepEqual(got.predictions, base.predictions) {
+					t.Errorf("workers=%d: predictions diverge from sequential", w)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismCrossValidation: fold accuracies (values AND order)
+// and summary statistics are identical at workers 1, 2, and 8 when the
+// folds themselves also run concurrently.
+func TestDeterminismCrossValidation(t *testing.T) {
+	for _, name := range []string{"austral", "breast"} {
+		t.Run(name, func(t *testing.T) {
+			d, err := Generate(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(w int) *CVResult {
+				clf := NewClassifier(PatFS, SVM,
+					WithMinSupport(0.15), WithWorkers(w))
+				res, err := CrossValidateContext(nil, clf, d, 3, 1, CVOptions{Workers: Workers(w)})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				return res
+			}
+			base := run(1)
+			for _, w := range []int{2, 8} {
+				got := run(w)
+				if !reflect.DeepEqual(got.FoldAccuracies, base.FoldAccuracies) {
+					t.Errorf("workers=%d: fold accuracies %v != %v", w, got.FoldAccuracies, base.FoldAccuracies)
+				}
+				if got.Mean != base.Mean || got.Std != base.Std {
+					t.Errorf("workers=%d: mean/std (%v, %v) != (%v, %v)",
+						w, got.Mean, got.Std, base.Mean, base.Std)
+				}
+			}
+		})
+	}
+}

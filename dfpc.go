@@ -35,6 +35,7 @@ import (
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 )
 
 // Dataset is a labelled tabular dataset (categorical and/or numeric
@@ -48,9 +49,15 @@ type Attribute = dataset.Attribute
 type CVResult = eval.CVResult
 
 // CVOptions carries optional cross-validation behavior: observability
-// hooks, per-fold progress, and fold-failure isolation
-// (ContinueOnError).
+// hooks, per-fold progress, fold-failure isolation (ContinueOnError),
+// and concurrent fold execution (Workers).
 type CVOptions = eval.CVOptions
+
+// Workers is the worker-count knob of CVOptions.Workers and the
+// parallel regions behind WithWorkers: 0 means GOMAXPROCS, 1 means
+// sequential, n means at most n goroutines. Any value yields identical
+// results.
+type Workers = parallel.Workers
 
 // FoldError records one failed cross-validation fold (see
 // CVResult.Failures).
@@ -285,6 +292,17 @@ func WithOnBudget(policy BudgetPolicy, retries int, backoff float64) Option {
 		c.BudgetRetries = retries
 		c.BudgetBackoff = backoff
 	}
+}
+
+// WithWorkers bounds the classifier's internal parallelism: per-class
+// mining, the MMRFS gain scan, and the one-vs-one SVM subproblems fan
+// out across up to n goroutines (0 = GOMAXPROCS, 1 = sequential, the
+// default). Every parallel region merges deterministically, so the
+// fitted model, the selected patterns, and all predictions are
+// identical at any worker count. The setting is never serialized with
+// saved models.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = parallel.Workers(n) }
 }
 
 // Classifier is a configured classification pipeline. It implements

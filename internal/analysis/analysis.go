@@ -10,6 +10,7 @@
 //   - ctxfirst:    ctx-first *Context APIs, no ctx stored in structs
 //   - obsnil:      obs methods keep their nil-receiver fast path
 //   - mathrange:   math.Log/Sqrt in measures sit behind domain checks
+//   - parasafe:    parallel worker closures keep writes index-partitioned
 //
 // The analyzers are table-registered (see registry.go); cmd/dfpc-vet is
 // the CLI front end and scripts/check.sh runs it between `go vet` and

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Parasafe machine-checks the caller side of the parallel layer's
+// determinism contract (internal/parallel): the worker closure handed
+// to parallel.ForEach/Map may write shared state only through slots
+// partitioned by its own index parameter. Any other write to a
+// captured variable — appending to a shared slice, bumping a shared
+// counter, storing into a shared map — is a data race at workers > 1
+// and, even when "benign", makes results depend on scheduling order,
+// which breaks the repo-wide worker-count-invariance guarantee.
+var Parasafe = &Analyzer{
+	Name: "parasafe",
+	Doc: "keep parallel worker closures' writes index-partitioned\n\n" +
+		"A closure passed to parallel.ForEach or parallel.Map runs concurrently\n" +
+		"at workers > 1, so every write to a variable captured from the\n" +
+		"enclosing scope must land in a slot selected by the closure's own\n" +
+		"index parameter (out[i] = ...). Flagged shapes: appending to a\n" +
+		"captured slice, assigning or ++/-- on a captured scalar, writing a\n" +
+		"captured map (concurrent map writes panic regardless of key), and\n" +
+		"indexing a captured slice by anything not derived from the worker\n" +
+		"index. Collect per-index results and merge after the pool returns;\n" +
+		"sanctioned exceptions (e.g. mutex-guarded aggregation) carry a\n" +
+		"//vet:ignore with the reason.",
+	Default: true,
+	Run:     runParasafe,
+}
+
+func runParasafe(p *Pass) {
+	// First pass: find every worker literal, so the per-worker walk can
+	// skip nested workers (each gets its own check — a shared-state
+	// write inside a nested worker should be reported once, against the
+	// innermost pool whose index could have partitioned it).
+	type worker struct {
+		lit  *ast.FuncLit
+		pool string // "ForEach" or "Map"
+	}
+	var found []worker
+	workerLits := map[*ast.FuncLit]bool{}
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pool := parallelPoolCallee(p.Info, call)
+		if pool == "" || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		found = append(found, worker{lit: lit, pool: pool})
+		workerLits[lit] = true
+		return true
+	})
+	for _, w := range found {
+		checkWorker(p, w.pool, w.lit, workerLits)
+	}
+}
+
+// parallelPoolCallee reports which pool primitive the call invokes —
+// "ForEach" or "Map" from the repo's internal/parallel package — or ""
+// for anything else. Matching on the path suffix keeps the analyzer
+// usable from golden-test fixtures, which import the real package.
+func parallelPoolCallee(info *types.Info, call *ast.CallExpr) string {
+	fun := ast.Unparen(call.Fun)
+	// Explicit generic instantiation (parallel.Map[int]) indexes the
+	// callee expression; unwrap to the underlying selector/ident.
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	fn, _ := objectOf(info, fun).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/parallel") {
+		return ""
+	}
+	if name := fn.Name(); name == "ForEach" || name == "Map" {
+		return name
+	}
+	return ""
+}
+
+// checkWorker walks one worker closure's body and reports every write
+// whose target is captured from outside the closure and not reached
+// through an index derived from the worker's index parameter.
+func checkWorker(p *Pass, pool string, lit *ast.FuncLit, workerLits map[*ast.FuncLit]bool) {
+	var idxObj types.Object
+	if params := lit.Type.Params; params != nil && len(params.List) > 0 && len(params.List[0].Names) > 0 {
+		idxObj = p.Info.ObjectOf(params.List[0].Names[0])
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// Nested workers are checked against their own index.
+			return !workerLits[s]
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				checkWrite(p, pool, lit, idxObj, lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(p, pool, lit, idxObj, s.X, nil)
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				checkWrite(p, pool, lit, idxObj, s.Key, nil)
+				checkWrite(p, pool, lit, idxObj, s.Value, nil)
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs when it names captured state that the write
+// does not reach through a worker-index-partitioned slot.
+func checkWrite(p *Pass, pool string, lit *ast.FuncLit, idxObj types.Object, lhs, rhs ast.Expr) {
+	if lhs == nil {
+		return
+	}
+	root, partitioned, mapWrite := analyzeTarget(p, idxObj, lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := p.Info.ObjectOf(root)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	// Captured = declared outside the closure (params and body-local
+	// declarations fall inside the literal's source range).
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return
+	}
+	switch {
+	case mapWrite:
+		p.Reportf(lhs.Pos(),
+			"parallel %s worker writes captured map %s; concurrent map writes panic even on distinct keys — collect into an index-partitioned slice and merge after the pool returns",
+			pool, root.Name)
+	case partitioned:
+		// The slot is selected by the worker's own index: the sanctioned
+		// shape.
+	case isAppendCall(p.Info, rhs):
+		p.Reportf(lhs.Pos(),
+			"parallel %s worker appends to captured slice %s; concurrent appends race and reorder results — use parallel.Map or write into a pre-sized slice at the worker index",
+			pool, root.Name)
+	case indexedWrite(lhs):
+		p.Reportf(lhs.Pos(),
+			"parallel %s worker writes captured %s at an index not derived from the worker index; partition writes by the worker's own index so index-ordered merges reproduce the sequential result",
+			pool, root.Name)
+	default:
+		p.Reportf(lhs.Pos(),
+			"parallel %s worker writes captured variable %s; concurrent workers race on it — write into a per-index slot and merge after the pool returns",
+			pool, root.Name)
+	}
+}
+
+// analyzeTarget resolves a write target's access path (selectors,
+// derefs, indexing) to its root identifier and reports whether the
+// written object is partitioned — reached through an index expression
+// that uses the worker index — and whether the final store goes through
+// a shared map. A map reached through a partitioned slot (slots[i].m[k])
+// is a distinct map per index and therefore fine; a shared map is
+// unsafe for any key.
+func analyzeTarget(p *Pass, idxObj types.Object, e ast.Expr) (root *ast.Ident, partitioned, mapWrite bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x, false, false
+	case *ast.SelectorExpr:
+		// A qualified package-level variable (pkg.Var) has no base
+		// identifier chain in this file; treat the selected var itself
+		// as the root.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := p.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return x.Sel, false, false
+			}
+		}
+		return analyzeTarget(p, idxObj, x.X)
+	case *ast.StarExpr:
+		return analyzeTarget(p, idxObj, x.X)
+	case *ast.IndexExpr:
+		root, partitioned, mapWrite = analyzeTarget(p, idxObj, x.X)
+		if partitioned {
+			return root, true, false
+		}
+		if t := p.TypeOf(x.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return root, false, true
+			}
+		}
+		return root, mentionsObj(p.Info, x.Index, idxObj), mapWrite
+	}
+	return nil, false, false
+}
+
+// mentionsObj reports whether the expression references obj anywhere.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil || e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// indexedWrite reports whether the write target goes through an index
+// expression at all (distinguishes out[j] = v from total = v for
+// message wording).
+func indexedWrite(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return indexedWrite(x.X)
+	case *ast.SelectorExpr:
+		return indexedWrite(x.X)
+	}
+	return false
+}

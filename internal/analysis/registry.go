@@ -15,6 +15,7 @@ var All = []*Analyzer{
 	Ctxfirst,
 	Obsnil,
 	Mathrange,
+	Parasafe,
 }
 
 // Lookup returns the registered analyzer with the given name.

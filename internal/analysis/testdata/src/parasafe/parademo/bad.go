@@ -1,0 +1,82 @@
+// Positive fixtures: worker closures that write captured state without
+// index partitioning — every shape the determinism contract forbids.
+package parademo
+
+import "dfpc/internal/parallel"
+
+// sharedAppend races the slice header and scrambles result order.
+func sharedAppend(xs []int) []int {
+	var out []int
+	_ = parallel.ForEach(4, len(xs), func(i int) error {
+		out = append(out, xs[i]*2) // want "appends to captured slice out"
+		return nil
+	})
+	return out
+}
+
+// sharedCounter loses increments at workers > 1.
+func sharedCounter(n int) int {
+	total := 0
+	_ = parallel.ForEach(0, n, func(i int) error {
+		total += i // want "writes captured variable total"
+		return nil
+	})
+	return total
+}
+
+// sharedMap panics: concurrent map writes, even on distinct keys.
+func sharedMap(keys []string) map[string]int {
+	m := map[string]int{}
+	_ = parallel.ForEach(2, len(keys), func(i int) error {
+		m[keys[i]] = i // want "writes captured map m"
+		return nil
+	})
+	return m
+}
+
+// wrongIndex writes through a cursor instead of the worker index.
+func wrongIndex(xs []int) []int {
+	out := make([]int, len(xs))
+	pos := 0
+	_ = parallel.ForEach(2, len(xs), func(i int) error {
+		out[pos] = xs[i] // want "at an index not derived from the worker index"
+		pos++            // want "writes captured variable pos"
+		return nil
+	})
+	return out
+}
+
+type tally struct{ hits int }
+
+// sharedField mutates one struct from every worker.
+func sharedField(n int) int {
+	var t tally
+	_ = parallel.ForEach(0, n, func(i int) error {
+		t.hits++ // want "writes captured variable t"
+		return nil
+	})
+	return t.hits
+}
+
+// insideMap: the contract covers Map workers identically.
+func insideMap(xs []int) ([]int, error) {
+	seen := 0
+	return parallel.Map(4, len(xs), func(i int) (int, error) {
+		seen++ // want "writes captured variable seen"
+		return xs[i] + seen, nil
+	})
+}
+
+// nestedClosure: a plain (non-worker) closure inside the worker still
+// runs on the worker goroutine, so its captured writes are flagged too.
+func nestedClosure(xs []int) int {
+	total := 0
+	_ = parallel.ForEach(0, len(xs), func(i int) error {
+		add := func(v int) {
+			total += v // want "writes captured variable total"
+		}
+		add(xs[i])
+		return nil
+	})
+	return total
+}

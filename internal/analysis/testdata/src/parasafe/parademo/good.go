@@ -1,0 +1,69 @@
+// Negative fixtures: the sanctioned shapes — index-partitioned slots,
+// closure-local state, parallel.Map, and merges after the pool returns.
+package parademo
+
+import "dfpc/internal/parallel"
+
+// partitioned is the canonical shape: each worker writes only its own
+// out[i] slot; locals stay local.
+func partitioned(xs []int) ([]int, error) {
+	out := make([]int, len(xs))
+	err := parallel.ForEach(0, len(xs), func(i int) error {
+		local := xs[i] * 2
+		local++
+		out[i] = local
+		return nil
+	})
+	return out, err
+}
+
+// viaMap delegates the slot bookkeeping to parallel.Map.
+func viaMap(xs []int) ([]int, error) {
+	return parallel.Map[int](4, len(xs), func(i int) (int, error) {
+		return xs[i] * 2, nil
+	})
+}
+
+type cell struct {
+	n int
+	m map[string]int
+}
+
+// structSlot: field writes and even map writes are fine when the cell
+// itself is selected by the worker index — distinct memory per worker.
+func structSlot(xs []int) []cell {
+	out := make([]cell, len(xs))
+	_ = parallel.ForEach(2, len(xs), func(i int) error {
+		out[i].n = xs[i]
+		out[i].m = map[string]int{}
+		out[i].m["v"] = xs[i]
+		return nil
+	})
+	return out
+}
+
+// derivedIndex: any index expression that uses the worker index
+// partitions (offsets, strides, chunk bounds).
+func derivedIndex(xs []int, base int) []int {
+	out := make([]int, 2*len(xs)+base)
+	_ = parallel.ForEach(0, len(xs), func(i int) error {
+		out[base+2*i] = xs[i]
+		return nil
+	})
+	return out
+}
+
+// mergeAfter: the shared accumulation happens sequentially, after the
+// pool has returned — exactly the pattern the analyzer steers toward.
+func mergeAfter(xs []int) int {
+	parts := make([]int, len(xs))
+	_ = parallel.ForEach(0, len(xs), func(i int) error {
+		parts[i] = xs[i]
+		return nil
+	})
+	total := 0
+	for _, v := range parts {
+		total += v
+	}
+	return total
+}

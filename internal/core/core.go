@@ -24,6 +24,7 @@ import (
 	"dfpc/internal/mining"
 	"dfpc/internal/nbayes"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 	"dfpc/internal/svm"
 )
 
@@ -138,6 +139,15 @@ type Config struct {
 	// BudgetBackoff is the min_sup multiplier per escalation (0 = the
 	// mining package default, 2).
 	BudgetBackoff float64
+
+	// Workers bounds the intra-fit parallelism: per-class mining, the
+	// MMRFS gain scan, and the one-vs-one SVM subproblems all fan out
+	// under this one knob (0 = GOMAXPROCS, 1 — the zero value's
+	// effective meaning — = sequential). Every parallel region merges
+	// deterministically, so the fitted model is identical at any worker
+	// count. Like Log, the field is gob-transparent: saved models carry
+	// no worker count.
+	Workers parallel.Workers
 
 	// Obs, when non-nil, receives stage spans and pipeline counters for
 	// every Fit/Predict call (see internal/obs). Nil — the default —
@@ -383,6 +393,7 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 		return err
 	}
 	o := p.cfg.Obs
+	o.Gauge("parallel.workers").Set(float64(p.cfg.Workers.Resolve()))
 	fit := o.Start("fit").Attr("rows", len(rows)).Attr("learner", p.cfg.Learner)
 	defer fit.End()
 	train := d.Subset(rows)
@@ -527,6 +538,13 @@ func (p *Pipeline) Explain() []FeatureReport {
 	return p.report
 }
 
+// CloneForCV returns an independent unfitted pipeline with this one's
+// configuration, implementing eval.CVCloner so the CV harness can fit
+// concurrent folds on separate instances. The clone shares the config's
+// pointer fields (observer, logger, context) until the harness installs
+// per-fold replacements via SetObserver; fitted state is not copied.
+func (p *Pipeline) CloneForCV() any { return &Pipeline{cfg: p.cfg} }
+
 // SetObserver installs (or, with nil, removes) the observer that
 // receives this pipeline's stage spans and counters. Equivalent to
 // configuring Config.Obs at construction time.
@@ -623,6 +641,7 @@ func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 		Deadline:  p.stageDeadline(),
 		Obs:       o,
 		Log:       obs.StageLogger(p.cfg.Log.Logger, "select-items"),
+		Workers:   p.cfg.Workers,
 	})
 	if err != nil {
 		return fmt.Errorf("core: item MMRFS: %w", err)
@@ -664,6 +683,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		MemLimit:    p.cfg.MemLimit,
 		Obs:         o,
 		Log:         obs.StageLogger(p.cfg.Log.Logger, "mine"),
+		Workers:     p.cfg.Workers,
 	}
 	var mined []mining.Pattern
 	if p.cfg.OnBudget == DegradeOnBudget {
@@ -709,6 +729,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		Deadline:  p.stageDeadline(),
 		Obs:       o,
 		Log:       obs.StageLogger(p.cfg.Log.Logger, "select"),
+		Workers:   p.cfg.Workers,
 	})
 	if err != nil {
 		sp.End()
@@ -824,6 +845,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
 			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
+			Workers:     p.cfg.Workers,
 		})
 	default:
 		m, err = svm.Train(x, y, numClasses, svm.Config{
@@ -833,6 +855,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Deadline:    deadline,
 			Obs:         p.cfg.Obs,
 			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
+			Workers:     p.cfg.Workers,
 		})
 	}
 	if err != nil {

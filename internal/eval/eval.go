@@ -13,6 +13,7 @@ import (
 	"dfpc/internal/dataset"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 )
 
 // Pipeline abstracts one classification pipeline: fit on training rows
@@ -34,6 +35,25 @@ type Pipeline interface {
 type ContextPipeline interface {
 	FitContext(ctx context.Context, d *dataset.Dataset, rows []int) error
 	PredictContext(ctx context.Context, d *dataset.Dataset, rows []int) ([]int, error)
+}
+
+// CVCloner is the opt-in hook for concurrent cross-validation: a
+// pipeline that can produce independent copies of itself, each safe to
+// fit in its own goroutine. CloneForCV returns `any` (asserted to
+// Pipeline by the harness) so implementations outside this package need
+// no import of eval. Pipelines without it always run folds
+// sequentially, whatever CVOptions.Workers says. core.Pipeline
+// implements it.
+type CVCloner interface {
+	CloneForCV() any
+}
+
+// ObservablePipeline lets the CV harness install a per-fold observer
+// fork on cloned pipelines so concurrent folds record spans without
+// sharing one span stack. core.Pipeline implements it.
+type ObservablePipeline interface {
+	SetObserver(*obs.Observer)
+	Observer() *obs.Observer
 }
 
 // Accuracy returns the fraction of positions where pred equals truth.
@@ -137,6 +157,13 @@ type CVOptions struct {
 	// fold failure aborts the run (panics are still recovered into the
 	// returned error rather than crashing the caller).
 	ContinueOnError bool
+	// Workers bounds the fold fan-out (0 = GOMAXPROCS, 1 = sequential).
+	// Folds run concurrently only when the pipeline implements CVCloner
+	// (each fold fits its own clone); results are merged in fold order,
+	// so FoldAccuracies, Mean, Std, and the summed Train/TestTime are
+	// identical at any worker count. Progress and per-fold log records
+	// are emitted in fold order after all folds join.
+	Workers parallel.Workers
 }
 
 // CrossValidate runs stratified k-fold cross validation of the pipeline
@@ -152,27 +179,41 @@ func CrossValidateOpt(p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVO
 	return CrossValidateContext(context.Background(), p, d, k, seed, opt)
 }
 
+// foldOutcome is the result of one executed fold, independent of any
+// shared CV state so folds can run concurrently and merge in order.
+type foldOutcome struct {
+	ran       bool
+	acc       float64
+	trainTime time.Duration
+	testTime  time.Duration
+	elapsed   time.Duration
+	panicked  bool
+	err       error
+}
+
 // runFold executes one fold end to end, converting panics in the
 // pipeline into errors so a single bad fold cannot crash a CV sweep.
-func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []int,
-	res *CVResult) (acc float64, panicked bool, err error) {
+func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []int) (out foldOutcome) {
+	out.ran = true
 	defer func() {
 		if r := recover(); r != nil {
-			panicked = true
-			err = fmt.Errorf("recovered panic: %v", r)
+			out.panicked = true
+			out.err = fmt.Errorf("recovered panic: %v", r)
 		}
 	}()
 	cp, _ := p.(ContextPipeline)
 	t0 := time.Now()
+	var err error
 	if cp != nil {
 		err = cp.FitContext(ctx, d, train)
 	} else {
 		err = p.Fit(d, train)
 	}
 	if err != nil {
-		return 0, false, fmt.Errorf("fit: %w", err)
+		out.err = fmt.Errorf("fit: %w", err)
+		return out
 	}
-	res.TrainTime += time.Since(t0)
+	out.trainTime = time.Since(t0)
 	t0 = time.Now()
 	var pred []int
 	if cp != nil {
@@ -181,15 +222,16 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 		pred, err = p.Predict(d, test)
 	}
 	if err != nil {
-		return 0, false, fmt.Errorf("predict: %w", err)
+		out.err = fmt.Errorf("predict: %w", err)
+		return out
 	}
-	res.TestTime += time.Since(t0)
+	out.testTime = time.Since(t0)
 	truth := make([]int, len(test))
 	for i, r := range test {
 		truth[i] = d.Labels[r]
 	}
-	acc, err = Accuracy(pred, truth)
-	return acc, false, err
+	out.acc, out.err = Accuracy(pred, truth)
+	return out
 }
 
 // CrossValidateContext is CrossValidateOpt under a context. The context
@@ -208,47 +250,130 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 		return nil, err
 	}
 	res := &CVResult{}
-	for f := range folds {
-		if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
-			return nil, err
-		}
-		train, test := dataset.TrainTestFromFolds(folds, f)
-		sp := opt.Obs.Start("cv-fold").
-			Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
-		foldStart := time.Now()
-		acc, panicked, err := runFold(ctx, p, d, train, test, res)
-		if err != nil {
-			sp.Attr("error", err.Error()).End()
+	// merge folds one outcome at a time, strictly in fold order, for
+	// both the sequential and the concurrent path — fold-order merging
+	// is what keeps FoldAccuracies, Mean/Std, the summed durations, and
+	// the abort error independent of the worker count. A non-nil return
+	// aborts the run.
+	merge := func(f int, out foldOutcome) error {
+		res.TrainTime += out.trainTime
+		res.TestTime += out.testTime
+		if out.err != nil {
 			// Cancellation is a run-level event, not a fold defect:
 			// stop even under ContinueOnError.
 			if ctx.Err() != nil {
-				return nil, fmt.Errorf("eval: fold %d: %w", f+1, err)
+				return fmt.Errorf("eval: fold %d: %w", f+1, out.err)
 			}
 			if !opt.ContinueOnError {
-				return nil, fmt.Errorf("eval: fold %d: %w", f+1, err)
+				return fmt.Errorf("eval: fold %d: %w", f+1, out.err)
 			}
-			res.Failures = append(res.Failures, FoldError{Fold: f + 1, Err: err, Panicked: panicked})
+			res.Failures = append(res.Failures, FoldError{Fold: f + 1, Err: out.err, Panicked: out.panicked})
 			opt.Obs.Counter("cv.fold_failures").Inc()
 			if opt.Log != nil {
 				opt.Log.Warn("cross-validation fold failed; continuing",
 					slog.Int("fold", f+1),
 					slog.Int("total", len(folds)),
-					slog.Bool("panicked", panicked),
-					slog.String("err", err.Error()))
+					slog.Bool("panicked", out.panicked),
+					slog.String("err", out.err.Error()))
 			}
-			continue
+			return nil
 		}
-		sp.Attr("accuracy", fmt.Sprintf("%.4f", acc)).End()
-		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+		res.FoldAccuracies = append(res.FoldAccuracies, out.acc)
 		if opt.Log != nil {
 			opt.Log.Debug("cross-validation fold done",
 				slog.Int("fold", f+1),
 				slog.Int("total", len(folds)),
-				slog.Duration("elapsed", time.Since(foldStart)),
-				slog.Float64("accuracy", acc))
+				slog.Duration("elapsed", out.elapsed),
+				slog.Float64("accuracy", out.acc))
 		}
 		if opt.Progress != nil {
-			opt.Progress(f+1, len(folds), time.Since(foldStart), acc)
+			opt.Progress(f+1, len(folds), out.elapsed, out.acc)
+		}
+		return nil
+	}
+
+	cloner, canClone := p.(CVCloner)
+	op, canObserve := p.(ObservablePipeline)
+	if opt.Workers.Resolve() > 1 && len(folds) > 1 && canClone && (opt.Obs == nil || canObserve) {
+		// Concurrent folds: every fold but the last fits a clone; the
+		// last fold fits the original pipeline so its post-CV state
+		// (stats, explanations) matches a sequential run. Each fold
+		// records on its own observer fork — span trees stay intact and
+		// counters land in the shared registry. An aborting fold stops
+		// further folds from being claimed; ForEach's ascending-claim
+		// guarantee means every earlier fold still ran to completion,
+		// which is all the fold-order merge below consumes.
+		outcomes := make([]foldOutcome, len(folds))
+		var origObs *obs.Observer
+		if canObserve {
+			origObs = op.Observer()
+		}
+		_ = parallel.ForEach(opt.Workers, len(folds), func(f int) error {
+			if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
+				outcomes[f] = foldOutcome{ran: true, err: err}
+				return err
+			}
+			fp := p
+			if f != len(folds)-1 {
+				cl, ok := cloner.CloneForCV().(Pipeline)
+				if !ok {
+					outcomes[f] = foldOutcome{ran: true,
+						err: fmt.Errorf("CloneForCV returned %T, not an eval.Pipeline", cloner.CloneForCV())}
+					return outcomes[f].err
+				}
+				fp = cl
+			}
+			fo := opt.Obs.Fork()
+			if fop, ok := fp.(ObservablePipeline); ok && opt.Obs != nil {
+				fop.SetObserver(fo)
+			}
+			train, test := dataset.TrainTestFromFolds(folds, f)
+			sp := fo.Start("cv-fold").
+				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
+			foldStart := time.Now()
+			out := runFold(ctx, fp, d, train, test)
+			out.elapsed = time.Since(foldStart)
+			if out.err != nil {
+				sp.Attr("error", out.err.Error()).End()
+			} else {
+				sp.Attr("accuracy", fmt.Sprintf("%.4f", out.acc)).End()
+			}
+			outcomes[f] = out
+			if out.err != nil && (ctx.Err() != nil || !opt.ContinueOnError) {
+				return out.err
+			}
+			return nil
+		})
+		if canObserve && opt.Obs != nil {
+			op.SetObserver(origObs)
+		}
+		for f := range folds {
+			if !outcomes[f].ran {
+				break // unreachable before an aborting merge below
+			}
+			if err := merge(f, outcomes[f]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for f := range folds {
+			if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
+				return nil, err
+			}
+			train, test := dataset.TrainTestFromFolds(folds, f)
+			sp := opt.Obs.Start("cv-fold").
+				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
+			foldStart := time.Now()
+			out := runFold(ctx, p, d, train, test)
+			out.elapsed = time.Since(foldStart)
+			if out.err != nil {
+				sp.Attr("error", out.err.Error()).End()
+			} else {
+				sp.Attr("accuracy", fmt.Sprintf("%.4f", out.acc)).End()
+			}
+			if err := merge(f, out); err != nil {
+				return nil, err
+			}
 		}
 	}
 	res.Completed = len(res.FoldAccuracies)

@@ -24,6 +24,7 @@ import (
 	"dfpc/internal/featsel"
 	"dfpc/internal/mining"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 	"dfpc/internal/rules"
 	"dfpc/internal/svm"
 )
@@ -74,6 +75,10 @@ type Protocol struct {
 	// ContinueOnError isolates failing CV folds: a table cell is then
 	// the mean over the completed folds instead of aborting the sweep.
 	ContinueOnError bool
+	// Workers bounds the parallelism of every CV run and pipeline fit
+	// in the sweep (0 = GOMAXPROCS, 1 = sequential). Results are
+	// deterministic at any worker count.
+	Workers parallel.Workers
 	// Log, when non-nil, receives stage-scoped DEBUG records and
 	// degradation WARN records from every pipeline fit and CV fold of
 	// the sweep. Nil disables logging.
@@ -122,6 +127,7 @@ func cvProto(p *core.Pipeline, d *dataset.Dataset, proto Protocol) (float64, err
 	res, err := eval.CrossValidateContext(proto.Ctx, p, d, proto.Folds, Seed, eval.CVOptions{
 		ContinueOnError: proto.ContinueOnError,
 		Log:             proto.Log,
+		Workers:         proto.Workers,
 	})
 	if err != nil {
 		return 0, err
@@ -154,6 +160,7 @@ func pipelineFor(family string, learner core.Learner, proto Protocol) (*core.Pip
 		StageTimeout: proto.StageTimeout,
 		OnBudget:     proto.OnBudget,
 		Log:          obs.Log(proto.Log),
+		Workers:      proto.Workers,
 	}
 	switch family {
 	case "Item_FS":

@@ -18,6 +18,7 @@ import (
 	"dfpc/internal/guard"
 	"dfpc/internal/measures"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 )
 
 // Relevance selects the relevance measure S(α) used by MMRFS
@@ -78,6 +79,12 @@ type Options struct {
 	// selection run (candidates, selected, coverage residual). Nil
 	// disables logging.
 	Log *slog.Logger
+	// Workers bounds the per-iteration gain scan's worker pool
+	// (0 = GOMAXPROCS, 1 = sequential). Selection is deterministic for
+	// any worker count: the scan is a chunked reduction merged in chunk
+	// order with a strict-inequality tie-break, so the selected feature
+	// set is bit-for-bit identical to the sequential run.
+	Workers parallel.Workers
 }
 
 func (o Options) withDefaults() Options {
@@ -97,22 +104,43 @@ type Result struct {
 	Relevance []float64
 }
 
-// scoreAll computes S(α) for each candidate.
-func scoreAll(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance) []float64 {
+// parallelMinCandidates is the candidate-pool size below which the
+// gain scan stays sequential: spawning a chunk per worker costs more
+// than scanning a few hundred candidates in place.
+const parallelMinCandidates = 512
+
+// scoreAll computes S(α) for each candidate, fanning the (independent,
+// per-element) measure evaluations out over w workers when the pool is
+// large enough to pay for the scheduling.
+func scoreAll(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, w parallel.Workers) []float64 {
 	scores := make([]float64, len(cands))
-	for i, c := range cands {
-		var s float64
-		switch rel {
-		case Fisher:
-			s = measures.FisherScore(c.Cover, classMasks)
-		default:
-			s = measures.InfoGain(c.Cover, classMasks)
+	scoreRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			switch rel {
+			case Fisher:
+				s = measures.FisherScore(cands[i].Cover, classMasks)
+			default:
+				s = measures.InfoGain(cands[i].Cover, classMasks)
+			}
+			if math.IsInf(s, 1) || s > relevanceCap {
+				s = relevanceCap
+			}
+			scores[i] = s
 		}
-		if math.IsInf(s, 1) || s > relevanceCap {
-			s = relevanceCap
-		}
-		scores[i] = s
 	}
+	workers := w.Resolve()
+	if workers <= 1 || len(cands) < parallelMinCandidates {
+		scoreRange(0, len(cands))
+		return scores
+	}
+	chunks := parallel.Chunks(len(cands), workers)
+	// Closures write only their own chunk's scores[i] slots and cannot
+	// fail, so the pool never returns an error.
+	_ = parallel.ForEach(w, len(chunks), func(c int) error {
+		scoreRange(chunks[c][0], chunks[c][1])
+		return nil
+	})
 	return scores
 }
 
@@ -167,8 +195,16 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 			return nil, fmt.Errorf("featsel: candidate %d cover length mismatch", i)
 		}
 	}
-	res := &Result{Relevance: scoreAll(cands, classMasks, opt.Relevance)}
+	// The span opens before the candidate buffers (scores, majority,
+	// covered, redundancy caches) are allocated, so its alloc_bytes
+	// histogram reflects the selection's real footprint instead of the
+	// few KB the greedy loop itself allocates.
+	sp := opt.Obs.Start("mmrfs").
+		Attr("candidates", len(cands)).
+		Attr("delta", opt.Coverage)
+	res := &Result{Relevance: scoreAll(cands, classMasks, opt.Relevance, opt.Workers)}
 	if len(cands) == 0 {
+		sp.End()
 		return res, nil
 	}
 
@@ -201,16 +237,53 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 	maxRed := make([]float64, len(cands))
 	inSel := make([]bool, len(cands))
 
-	// pick returns the unselected candidate with maximal gain, or -1.
-	pick := func() int {
+	// The per-iteration scans (gain argmax, redundancy update) go wide
+	// only past the pool-size threshold; each chunk touches its own
+	// index range, and chunk results merge in chunk order with strict
+	// inequalities, reproducing the sequential lowest-index tie-break.
+	workers := opt.Workers.Resolve()
+	if len(cands) < parallelMinCandidates {
+		workers = 1
+	}
+	chunks := parallel.Chunks(len(cands), workers)
+
+	// scanGain returns the best candidate in [lo, hi), first index wins
+	// ties via the strict >.
+	scanGain := func(lo, hi int) (int, float64) {
 		best, bestGain := -1, math.Inf(-1)
-		for i := range cands {
+		for i := lo; i < hi; i++ {
 			if inSel[i] || majority[i] < 0 {
 				continue
 			}
 			gain := res.Relevance[i] - maxRed[i]
 			if gain > bestGain {
 				best, bestGain = i, gain
+			}
+		}
+		return best, bestGain
+	}
+
+	// pick returns the unselected candidate with maximal gain, or -1.
+	pick := func() int {
+		if workers <= 1 {
+			best, _ := scanGain(0, len(cands))
+			return best
+		}
+		type chunkBest struct {
+			idx  int
+			gain float64
+		}
+		bests := make([]chunkBest, len(chunks))
+		// Chunks write only their own bests[c] slot and cannot fail.
+		_ = parallel.ForEach(opt.Workers, len(chunks), func(c int) error {
+			idx, gain := scanGain(chunks[c][0], chunks[c][1])
+			bests[c] = chunkBest{idx: idx, gain: gain}
+			return nil
+		})
+		best, bestGain := -1, math.Inf(-1)
+		for _, b := range bests {
+			if b.idx >= 0 && b.gain > bestGain {
+				best, bestGain = b.idx, b.gain
 			}
 		}
 		return best
@@ -228,6 +301,20 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 		return found
 	}
 
+	// updateRed refreshes maxRed[j] for j in [lo, hi) against the newly
+	// selected candidate i; writes are index-partitioned by chunk.
+	updateRed := func(i, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if inSel[j] || majority[j] < 0 {
+				continue
+			}
+			r := redundancy(cands[j], cands[i], res.Relevance[j], res.Relevance[i])
+			if r > maxRed[j] {
+				maxRed[j] = r
+			}
+		}
+	}
+
 	add := func(i int) {
 		inSel[i] = true
 		res.Selected = append(res.Selected, i)
@@ -239,21 +326,18 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 				}
 			}
 		})
-		for j := range cands {
-			if inSel[j] || majority[j] < 0 {
-				continue
-			}
-			r := redundancy(cands[j], cands[i], res.Relevance[j], res.Relevance[i])
-			if r > maxRed[j] {
-				maxRed[j] = r
-			}
+		if workers <= 1 {
+			updateRed(i, 0, len(cands))
+			return
 		}
+		// Chunks write disjoint maxRed ranges and cannot fail.
+		_ = parallel.ForEach(opt.Workers, len(chunks), func(c int) error {
+			updateRed(i, chunks[c][0], chunks[c][1])
+			return nil
+		})
 	}
 
-	sp := opt.Obs.Start("mmrfs").
-		Attr("candidates", len(cands)).
-		Attr("coverable", coverable).
-		Attr("delta", opt.Coverage)
+	sp.Attr("coverable", coverable)
 	iterations := opt.Obs.Counter("mmrfs.iterations")
 	dropped := 0
 	for {
@@ -306,7 +390,7 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 // relevance (no redundancy or coverage reasoning) — the conventional
 // filter-style feature selection used for the Item_FS baseline.
 func TopK(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, k int) *Result {
-	res := &Result{Relevance: scoreAll(cands, classMasks, rel)}
+	res := &Result{Relevance: scoreAll(cands, classMasks, rel, 1)}
 	idx := make([]int, len(cands))
 	for i := range idx {
 		idx[i] = i
@@ -331,7 +415,7 @@ func TopK(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, k int) 
 // at least t, in descending relevance order — the IG0-threshold filter
 // the paper's Section 3.1.3 equivalence argument is built on.
 func AboveThreshold(cands []Candidate, classMasks []*bitset.Bitset, rel Relevance, t float64) *Result {
-	res := &Result{Relevance: scoreAll(cands, classMasks, rel)}
+	res := &Result{Relevance: scoreAll(cands, classMasks, rel, 1)}
 	idx := make([]int, 0, len(cands))
 	for i := range cands {
 		if res.Relevance[i] >= t {

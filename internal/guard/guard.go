@@ -109,6 +109,19 @@ func New(ctx context.Context, lim Limits) *Guard {
 // Enabled reports whether the guard performs any checking.
 func (g *Guard) Enabled() bool { return g != nil }
 
+// Fork returns a guard watching the same context, deadline, and memory
+// limit with fresh amortization counters. A Guard is single-goroutine
+// state (Check's counter is deliberately non-atomic so the amortized
+// path stays a plain increment); parallel regions give every worker
+// its own fork instead of sharing one guard and contending — or racing
+// — on the counter. A nil guard forks to nil.
+func (g *Guard) Fork() *Guard {
+	if g == nil {
+		return nil
+	}
+	return &Guard{ctx: g.ctx, done: g.done, deadline: g.deadline, memLimit: g.memLimit}
+}
+
 // Check polls the guard's conditions once every checkEvery calls and
 // reports the first violated one. Call it at recursion entries and loop
 // iterations; between polls it is a nil check plus one counter

@@ -2,6 +2,7 @@ package mining
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"dfpc/internal/dataset"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 )
 
 // PerClassOptions configures the paper's feature-generation step
@@ -47,6 +49,12 @@ type PerClassOptions struct {
 	// partition and per run; the adaptive wrapper additionally emits a
 	// WARN per min_sup escalation. Nil disables logging.
 	Log *slog.Logger
+	// Workers bounds the per-class mining fan-out (0 = GOMAXPROCS,
+	// 1 = sequential). Class partitions are independent (Section 3.1),
+	// so they mine concurrently; the union is merged in class order and
+	// the pattern-budget accounting replays the sequential semantics
+	// exactly, so the returned union is identical for any worker count.
+	Workers parallel.Workers
 }
 
 // MinePerClass partitions the binary dataset by class, mines each
@@ -55,6 +63,13 @@ type PerClassOptions struct {
 // Support is recomputed as its global absolute support over all of b
 // (per-class supports are recoverable through b.Cover and b.ClassMasks,
 // which is how the measures package consumes them).
+//
+// With Workers > 1 the class partitions mine concurrently. The miners
+// enumerate in a deterministic order and a capped run is an exact
+// prefix of an uncapped one, so mining every class at the full budget
+// and then replaying the sequential remaining-budget arithmetic during
+// the class-order merge yields byte-identical unions — and the same
+// ErrPatternBudget trips — at any worker count.
 func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
 		return nil, fmt.Errorf("mining: relative MinSupport = %v, want (0,1]", opt.MinSupport)
@@ -63,16 +78,21 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 	if err := guard.New(opt.Ctx, guard.Limits{Deadline: opt.Deadline}).CheckNow(); err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
-	var union []Pattern
-	budget := opt.MaxPatterns
-	dedupDropped := opt.Obs.Counter("mine.dedup_dropped")
-	minlenDropped := opt.Obs.Counter("mine.minlen_dropped")
+
+	classes := make([]int, 0, b.NumClasses())
 	for c := 0; c < b.NumClasses(); c++ {
-		rows := b.ClassMasks[c].Indices()
-		if len(rows) == 0 {
-			continue
+		if len(b.ClassMasks[c].Indices()) > 0 {
+			classes = append(classes, c)
 		}
+	}
+	budget := opt.MaxPatterns
+
+	// mineClass mines one partition at the given raw-pattern cap,
+	// recording its span and counters on o (a per-worker fork when
+	// mining concurrently). It returns FPClose's raw pattern stream —
+	// filtering and budget accounting happen in the class-order merge.
+	mineClass := func(c, cap int, o *obs.Observer) ([]Pattern, error) {
+		rows := b.ClassMasks[c].Indices()
 		tx := make([][]int32, len(rows))
 		for i, r := range rows {
 			tx[i] = b.Rows[r]
@@ -81,24 +101,17 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		if abs < 1 {
 			abs = 1
 		}
-		sp := opt.Obs.Start("mine-class").
+		sp := o.Start("mine-class").
 			Attr("class", c).Attr("rows", len(rows)).Attr("abs_min_sup", abs)
 		mopt := Options{
-			MinSupport: abs,
-			MaxLen:     opt.MaxLen,
-			Ctx:        opt.Ctx,
-			Deadline:   opt.Deadline,
-			MemLimit:   opt.MemLimit,
-			Obs:        opt.Obs,
-			Log:        opt.Log,
-		}
-		if budget > 0 {
-			remaining := budget - len(union)
-			if remaining <= 0 {
-				sp.End()
-				return union, ErrPatternBudget
-			}
-			mopt.MaxPatterns = remaining
+			MinSupport:  abs,
+			MaxLen:      opt.MaxLen,
+			MaxPatterns: cap,
+			Ctx:         opt.Ctx,
+			Deadline:    opt.Deadline,
+			MemLimit:    opt.MemLimit,
+			Obs:         o,
+			Log:         opt.Log,
 		}
 		var ps []Pattern
 		var err error
@@ -107,6 +120,24 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		} else {
 			ps, err = FPGrowth(tx, mopt)
 		}
+		sp.Attr("patterns", len(ps)).End()
+		if opt.Log != nil {
+			opt.Log.Debug("class partition mined",
+				slog.Int("class", c),
+				slog.Int("rows", len(rows)),
+				slog.Int("abs_min_sup", abs),
+				slog.Int("patterns", len(ps)))
+		}
+		return ps, err
+	}
+
+	seen := map[string]bool{}
+	var union []Pattern
+	dedupDropped := opt.Obs.Counter("mine.dedup_dropped")
+	minlenDropped := opt.Obs.Counter("mine.minlen_dropped")
+	// absorb filters one class's raw pattern stream (min-len, dedup,
+	// global-support recompute) into the union, in stream order.
+	absorb := func(ps []Pattern) {
 		for _, p := range ps {
 			if opt.MinLen > 1 && p.Len() < opt.MinLen {
 				minlenDropped.Inc()
@@ -122,24 +153,87 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 			p.Support = b.Cover(p.Items).Count()
 			union = append(union, p)
 		}
-		sp.Attr("patterns", len(ps)).End()
+	}
+	finish := func() ([]Pattern, error) {
+		opt.Obs.Counter("mine.patterns_union").Add(int64(len(union)))
 		if opt.Log != nil {
-			opt.Log.Debug("class partition mined",
-				slog.Int("class", c),
-				slog.Int("rows", len(rows)),
-				slog.Int("abs_min_sup", abs),
-				slog.Int("patterns", len(ps)))
+			opt.Log.Debug("per-class mining done",
+				slog.Float64("min_sup", opt.MinSupport),
+				slog.Int("union", len(union)))
 		}
+		SortPatterns(union)
+		return union, nil
+	}
+
+	if opt.Workers.Resolve() > 1 && len(classes) > 1 {
+		// Concurrent partitions each mine at the full budget; a class
+		// that errors stops further classes from being claimed (and
+		// ForEach guarantees every lower-indexed class ran to
+		// completion, which is all the merge consumes).
+		type classResult struct {
+			ps  []Pattern
+			err error
+		}
+		results := make([]classResult, len(classes))
+		perr := parallel.ForEach(opt.Workers, len(classes), func(k int) error {
+			ps, err := mineClass(classes[k], budget, opt.Obs.Fork())
+			results[k] = classResult{ps: ps, err: err}
+			return err
+		})
+		var pe *parallel.PanicError
+		if errors.As(perr, &pe) {
+			return nil, perr
+		}
+		// Merge in class order, replaying the sequential budget
+		// arithmetic: remaining = budget − |union so far| (post-filter,
+		// exactly as the sequential path computes its caps), truncate
+		// the raw stream to it, and surface ErrPatternBudget exactly
+		// where a sequential run would have — the miners trip their cap
+		// only on attempting pattern cap+1, so a full-budget run is a
+		// superset prefix of any tighter-capped run of the same class.
+		for k := range classes {
+			ps, err := results[k].ps, results[k].err
+			if budget > 0 {
+				remaining := budget - len(union)
+				if remaining <= 0 {
+					return union, ErrPatternBudget
+				}
+				if len(ps) > remaining {
+					ps, err = ps[:remaining], ErrPatternBudget
+				}
+			}
+			absorb(ps)
+			if err != nil {
+				return union, err
+			}
+		}
+		return finish()
+	}
+
+	for _, c := range classes {
+		cap := 0
+		if budget > 0 {
+			remaining := budget - len(union)
+			if remaining <= 0 {
+				// Keep the span accounting of the historical sequential
+				// loop: the class that finds the budget already spent
+				// still records its (empty) span.
+				rows := b.ClassMasks[c].Indices()
+				abs := int(opt.MinSupport*float64(len(rows)) + 0.5)
+				if abs < 1 {
+					abs = 1
+				}
+				opt.Obs.Start("mine-class").
+					Attr("class", c).Attr("rows", len(rows)).Attr("abs_min_sup", abs).End()
+				return union, ErrPatternBudget
+			}
+			cap = remaining
+		}
+		ps, err := mineClass(c, cap, opt.Obs)
+		absorb(ps)
 		if err != nil {
 			return union, err
 		}
 	}
-	opt.Obs.Counter("mine.patterns_union").Add(int64(len(union)))
-	if opt.Log != nil {
-		opt.Log.Debug("per-class mining done",
-			slog.Float64("min_sup", opt.MinSupport),
-			slog.Int("union", len(union)))
-	}
-	SortPatterns(union)
-	return union, nil
+	return finish()
 }

@@ -2,9 +2,11 @@ package mining
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/parallel"
 )
 
 // twoClassDS builds a dataset where class 0 rows share pattern
@@ -115,5 +117,46 @@ func TestMinePerClassBudget(t *testing.T) {
 	_, err := MinePerClass(b, PerClassOptions{MinSupport: 0.1, Closed: false, MaxPatterns: 2})
 	if !errors.Is(err, ErrPatternBudget) {
 		t.Fatalf("err = %v, want ErrPatternBudget", err)
+	}
+}
+
+// patternKeys renders a union as an ordered signature for equality
+// checks across worker counts.
+func patternKeys(ps []Pattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key()
+	}
+	return out
+}
+
+// TestMinePerClassParallelDeterminism: the union (content, order, and
+// recomputed supports) is identical at any worker count, with and
+// without a pattern budget — including which sentinel trips.
+func TestMinePerClassParallelDeterminism(t *testing.T) {
+	b := twoClassDS()
+	for _, budget := range []int{0, 2, 3, 1000} {
+		base, baseErr := MinePerClass(b, PerClassOptions{
+			MinSupport: 0.1, Closed: false, MinLen: 2, MaxPatterns: budget,
+		})
+		for _, w := range []parallel.Workers{2, 8} {
+			got, err := MinePerClass(b, PerClassOptions{
+				MinSupport: 0.1, Closed: false, MinLen: 2, MaxPatterns: budget,
+				Workers: w,
+			})
+			if !errors.Is(err, baseErr) && !(err == nil && baseErr == nil) {
+				t.Fatalf("budget=%d workers=%d: err = %v, sequential err = %v", budget, w, err, baseErr)
+			}
+			if !reflect.DeepEqual(patternKeys(got), patternKeys(base)) {
+				t.Fatalf("budget=%d workers=%d: union keys diverge\n got %v\nwant %v",
+					budget, w, patternKeys(got), patternKeys(base))
+			}
+			for i := range got {
+				if got[i].Support != base[i].Support {
+					t.Fatalf("budget=%d workers=%d: pattern %d support %d != %d",
+						budget, w, i, got[i].Support, base[i].Support)
+				}
+			}
+		}
 	}
 }

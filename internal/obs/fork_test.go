@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkAnchorsUnderOpenSpan drives the concurrent-worker shape the
+// pipeline uses: a parent stage forks one observer per worker, each
+// worker records its own spans, and the report tree shows them all as
+// children of the parent stage.
+func TestForkAnchorsUnderOpenSpan(t *testing.T) {
+	o := New()
+	parent := o.Start("stage")
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		f := o.Fork()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := f.Start("worker")
+			f.Start("inner").End()
+			sp.End()
+			f.Counter("work.items").Inc()
+		}()
+	}
+	wg.Wait()
+	parent.End()
+
+	rep := o.Report("run")
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "stage" {
+		t.Fatalf("top level = %+v, want single stage span", rep.Spans)
+	}
+	kids := rep.Spans[0].Children
+	if len(kids) != workers {
+		t.Fatalf("stage has %d children, want %d", len(kids), workers)
+	}
+	for _, k := range kids {
+		if k.Name != "worker" || len(k.Children) != 1 || k.Children[0].Name != "inner" {
+			t.Errorf("worker span malformed: %+v", k)
+		}
+	}
+	if got := rep.Counters["work.items"]; got != workers {
+		t.Errorf("shared counter = %d, want %d", got, workers)
+	}
+}
+
+// TestForkWithoutOpenSpan verifies stack-empty forks report their
+// top-level spans on the root observer.
+func TestForkWithoutOpenSpan(t *testing.T) {
+	o := New()
+	f := o.Fork()
+	f.Start("detached").End()
+	ff := f.Fork() // fork of a fork chains to the same root
+	ff.Start("detached2").End()
+	rep := o.Report("run")
+	if len(rep.Spans) != 2 || rep.Spans[0].Name != "detached" || rep.Spans[1].Name != "detached2" {
+		t.Fatalf("root spans = %+v, want detached+detached2", rep.Spans)
+	}
+}
+
+// TestForkNil keeps the instrumentation-off path free.
+func TestForkNil(t *testing.T) {
+	var o *Observer
+	f := o.Fork()
+	if f != nil {
+		t.Fatal("nil observer must fork to nil")
+	}
+	f.Start("x").End() // must not panic
+}
+
+// TestForkSharedRegistry: counters, gauges, and histograms resolve to
+// the same recorder through any fork.
+func TestForkSharedRegistry(t *testing.T) {
+	o := New()
+	f := o.Fork()
+	o.Counter("c").Add(2)
+	f.Counter("c").Add(3)
+	if got := o.Counter("c").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	f.Gauge("g").Set(7)
+	if got := o.Gauge("g").Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+	f.Histogram("h").Observe(9)
+	if got := o.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+}

@@ -174,30 +174,30 @@ func (o *Observer) Histogram(name string) *Histogram {
 	if o == nil {
 		return nil
 	}
-	o.regMu.RLock()
-	h := o.histograms[name]
-	o.regMu.RUnlock()
+	o.reg.mu.RLock()
+	h := o.reg.histograms[name]
+	o.reg.mu.RUnlock()
 	if h != nil {
 		return h
 	}
-	o.regMu.Lock()
-	defer o.regMu.Unlock()
-	if h = o.histograms[name]; h == nil {
+	o.reg.mu.Lock()
+	defer o.reg.mu.Unlock()
+	if h = o.reg.histograms[name]; h == nil {
 		h = &Histogram{}
-		o.histograms[name] = h
+		o.reg.histograms[name] = h
 	}
 	return h
 }
 
 // histogramValues snapshots the histogram registry.
 func (o *Observer) histogramValues() map[string]HistogramSnapshot {
-	o.regMu.RLock()
-	defer o.regMu.RUnlock()
-	if len(o.histograms) == 0 {
+	o.reg.mu.RLock()
+	defer o.reg.mu.RUnlock()
+	if len(o.reg.histograms) == 0 {
 		return nil
 	}
-	out := make(map[string]HistogramSnapshot, len(o.histograms))
-	for name, h := range o.histograms {
+	out := make(map[string]HistogramSnapshot, len(o.reg.histograms))
+	for name, h := range o.reg.histograms {
 		out[name] = h.Snapshot()
 	}
 	return out

@@ -31,32 +31,86 @@ import (
 // Observer records one run: a tree of spans plus a counter/gauge
 // registry. Construct with New; a nil Observer is a valid disabled
 // recorder. An Observer may be reused across runs — Reset clears it.
+//
+// An Observer's span stack is single-goroutine state: Start nests new
+// spans under the innermost span open on this observer's stack, so two
+// goroutines sharing one observer would interleave their stages into a
+// meaningless tree. Concurrent stages therefore record through Fork —
+// one forked observer per worker — which shares the (atomic,
+// concurrency-safe) counter/gauge/histogram registry while anchoring
+// the worker's spans under the span that was open at fork time.
 type Observer struct {
 	mu      sync.Mutex
 	started time.Time
 	spans   []*Span // top-level (root) spans, in start order
 	stack   []*Span // currently open spans, innermost last
 
-	regMu      sync.RWMutex
+	// anchor, when non-nil, marks this observer as a fork: spans started
+	// with an empty stack attach under anchor instead of the top level.
+	anchor *Span
+	// root points at the observer owning the top-level span list (nil on
+	// the root itself); forks of forks chain back to one root.
+	root *Observer
+
+	reg *registry
+}
+
+// registry is the counter/gauge/histogram store shared between an
+// observer and all of its forks. Every recorder in it is individually
+// atomic, so concurrent workers increment exact shared totals.
+type registry struct {
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
-// New returns an enabled Observer.
-func New() *Observer {
-	return &Observer{
-		started:    time.Now(),
+func newRegistry() *registry {
+	return &registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
 }
 
+// New returns an enabled Observer.
+func New() *Observer {
+	return &Observer{started: time.Now(), reg: newRegistry()}
+}
+
+// Fork returns an observer for one concurrent worker: it records into
+// the same counter/gauge/histogram registry as o, but keeps its own
+// span stack, anchored at the span innermost-open on o at fork time —
+// a worker's spans become children of the stage that forked it, and
+// the report tree stays coherent however many workers ran. With no
+// span open, the fork's top-level spans land on o's (or o's root's)
+// top-level list. A nil observer forks to nil, keeping the
+// instrumentation-off path free.
+func (o *Observer) Fork() *Observer {
+	if o == nil {
+		return nil
+	}
+	f := &Observer{started: o.started, reg: o.reg, root: o.root}
+	if f.root == nil {
+		f.root = o
+	}
+	o.mu.Lock()
+	if n := len(o.stack); n > 0 {
+		f.anchor = o.stack[n-1]
+	} else {
+		f.anchor = o.anchor
+	}
+	o.mu.Unlock()
+	return f
+}
+
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
 
-// Reset discards all recorded spans, counters, and gauges.
+// Reset discards all recorded spans, counters, and gauges. Existing
+// forks keep recording into the (now cleared) shared registry, but
+// their span anchors still point at discarded spans — fork again after
+// a reset.
 func (o *Observer) Reset() {
 	if o == nil {
 		return
@@ -66,11 +120,11 @@ func (o *Observer) Reset() {
 	o.spans = nil
 	o.stack = nil
 	o.mu.Unlock()
-	o.regMu.Lock()
-	o.counters = map[string]*Counter{}
-	o.gauges = map[string]*Gauge{}
-	o.histograms = map[string]*Histogram{}
-	o.regMu.Unlock()
+	o.reg.mu.Lock()
+	o.reg.counters = map[string]*Counter{}
+	o.reg.gauges = map[string]*Gauge{}
+	o.reg.histograms = map[string]*Histogram{}
+	o.reg.mu.Unlock()
 }
 
 // GobEncode makes types embedding a *Observer field (configs that get
@@ -106,21 +160,35 @@ type Span struct {
 	done     bool
 }
 
-// Start opens a span named name under the innermost open span (or at
-// the top level). It returns nil — a valid no-op span — on a nil
-// observer.
+// Start opens a span named name under the innermost open span (or, on
+// a fork with an empty stack, under the fork's anchor span; or at the
+// top level). It returns nil — a valid no-op span — on a nil observer.
 func (o *Observer) Start(name string) *Span {
 	if o == nil {
 		return nil
 	}
 	s := &Span{o: o, name: name, start: time.Now(), allocStart: totalAlloc()}
 	o.mu.Lock()
-	if n := len(o.stack); n > 0 {
-		parent := o.stack[n-1]
+	switch {
+	case len(o.stack) > 0:
+		parent := o.stack[len(o.stack)-1]
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
-	} else {
+	case o.anchor != nil:
+		a := o.anchor
+		a.mu.Lock()
+		a.children = append(a.children, s)
+		a.mu.Unlock()
+	case o.root != nil:
+		// A fork made while no span was open: top-level spans belong to
+		// the root observer's report. Lock order is fork → root; the
+		// root never locks a fork, so this cannot deadlock.
+		r := o.root
+		r.mu.Lock()
+		r.spans = append(r.spans, s)
+		r.mu.Unlock()
+	default:
 		o.spans = append(o.spans, s)
 	}
 	o.stack = append(o.stack, s)
@@ -241,22 +309,24 @@ func (g *Gauge) Value() float64 {
 
 // Counter returns the named counter, creating it on first use. It
 // returns nil — a valid no-op counter — on a nil observer. Callers on
-// hot paths should look the counter up once and retain it.
+// hot paths should look the counter up once and retain it. Forks
+// resolve names in the shared registry, so the same name is the same
+// counter in every worker.
 func (o *Observer) Counter(name string) *Counter {
 	if o == nil {
 		return nil
 	}
-	o.regMu.RLock()
-	c := o.counters[name]
-	o.regMu.RUnlock()
+	o.reg.mu.RLock()
+	c := o.reg.counters[name]
+	o.reg.mu.RUnlock()
 	if c != nil {
 		return c
 	}
-	o.regMu.Lock()
-	defer o.regMu.Unlock()
-	if c = o.counters[name]; c == nil {
+	o.reg.mu.Lock()
+	defer o.reg.mu.Unlock()
+	if c = o.reg.counters[name]; c == nil {
 		c = &Counter{}
-		o.counters[name] = c
+		o.reg.counters[name] = c
 	}
 	return c
 }
@@ -267,30 +337,30 @@ func (o *Observer) Gauge(name string) *Gauge {
 	if o == nil {
 		return nil
 	}
-	o.regMu.RLock()
-	g := o.gauges[name]
-	o.regMu.RUnlock()
+	o.reg.mu.RLock()
+	g := o.reg.gauges[name]
+	o.reg.mu.RUnlock()
 	if g != nil {
 		return g
 	}
-	o.regMu.Lock()
-	defer o.regMu.Unlock()
-	if g = o.gauges[name]; g == nil {
+	o.reg.mu.Lock()
+	defer o.reg.mu.Unlock()
+	if g = o.reg.gauges[name]; g == nil {
 		g = &Gauge{}
-		o.gauges[name] = g
+		o.reg.gauges[name] = g
 	}
 	return g
 }
 
 // counterValues snapshots the counter registry.
 func (o *Observer) counterValues() map[string]int64 {
-	o.regMu.RLock()
-	defer o.regMu.RUnlock()
-	if len(o.counters) == 0 {
+	o.reg.mu.RLock()
+	defer o.reg.mu.RUnlock()
+	if len(o.reg.counters) == 0 {
 		return nil
 	}
-	out := make(map[string]int64, len(o.counters))
-	for name, c := range o.counters {
+	out := make(map[string]int64, len(o.reg.counters))
+	for name, c := range o.reg.counters {
 		out[name] = c.Value()
 	}
 	return out
@@ -298,13 +368,13 @@ func (o *Observer) counterValues() map[string]int64 {
 
 // gaugeValues snapshots the gauge registry.
 func (o *Observer) gaugeValues() map[string]float64 {
-	o.regMu.RLock()
-	defer o.regMu.RUnlock()
-	if len(o.gauges) == 0 {
+	o.reg.mu.RLock()
+	defer o.reg.mu.RUnlock()
+	if len(o.reg.gauges) == 0 {
 		return nil
 	}
-	out := make(map[string]float64, len(o.gauges))
-	for name, g := range o.gauges {
+	out := make(map[string]float64, len(o.reg.gauges))
+	for name, g := range o.reg.gauges {
 		out[name] = g.Value()
 	}
 	return out

@@ -8,6 +8,7 @@ import (
 
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
+	"dfpc/internal/parallel"
 )
 
 // Config configures training.
@@ -40,6 +41,12 @@ type Config struct {
 	// call plus a WARN when any SMO subproblem exhausts MaxIter before
 	// converging. Nil disables logging.
 	Log *slog.Logger
+	// Workers bounds the one-vs-one subproblem fan-out (0 = GOMAXPROCS,
+	// 1 = sequential). Each binary subproblem is an independent SMO
+	// solve over a fixed pair of class partitions, so the fitted model
+	// is identical at any worker count; subproblems are assembled into
+	// the model in pair order.
+	Workers parallel.Workers
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -113,35 +120,53 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		return m, nil
 	}
 
+	// Enumerate the pairs up front in the canonical (a < b) order, then
+	// solve each independent subproblem — concurrently when Workers
+	// allows — into index-ordered slots. The assembly below walks the
+	// slots in order, so the model is identical at any worker count;
+	// ForEach surfaces the lowest-index error, which is exactly the
+	// error a sequential loop would have stopped on.
+	var pairList [][2]int
 	for ai := 0; ai < len(present); ai++ {
 		for bi := ai + 1; bi < len(present); bi++ {
-			a, b := present[ai], present[bi]
-			rowsA, rowsB := byClass[a], byClass[b]
-			px := make([][]int32, 0, len(rowsA)+len(rowsB))
-			py := make([]float64, 0, len(rowsA)+len(rowsB))
-			for _, r := range rowsA {
-				px = append(px, x[r])
-				py = append(py, 1)
-			}
-			for _, r := range rowsB {
-				px = append(px, x[r])
-				py = append(py, -1)
-			}
-			bm, err := trainBinary(px, py, smoConfig{
-				c:       cfg.C,
-				eps:     cfg.Eps,
-				maxIter: cfg.MaxIter,
-				kernel:  cfg.Kernel,
-				gamma:   gamma,
-				g:       g,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
-			}
-			m.pairs = append(m.pairs, bm)
-			m.pairClass = append(m.pairClass, [2]int{a, b})
+			pairList = append(pairList, [2]int{present[ai], present[bi]})
 		}
 	}
+	solved := make([]*binaryModel, len(pairList))
+	err := parallel.ForEach(cfg.Workers, len(pairList), func(k int) error {
+		a, b := pairList[k][0], pairList[k][1]
+		rowsA, rowsB := byClass[a], byClass[b]
+		px := make([][]int32, 0, len(rowsA)+len(rowsB))
+		py := make([]float64, 0, len(rowsA)+len(rowsB))
+		for _, r := range rowsA {
+			px = append(px, x[r])
+			py = append(py, 1)
+		}
+		for _, r := range rowsB {
+			px = append(px, x[r])
+			py = append(py, -1)
+		}
+		// Guards are single-goroutine state: every subproblem checks
+		// its own fork of the stage guard.
+		bm, err := trainBinary(px, py, smoConfig{
+			c:       cfg.C,
+			eps:     cfg.Eps,
+			maxIter: cfg.MaxIter,
+			kernel:  cfg.Kernel,
+			gamma:   gamma,
+			g:       g.Fork(),
+		})
+		if err != nil {
+			return fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
+		}
+		solved[k] = bm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.pairs = solved
+	m.pairClass = pairList
 	if cfg.Obs != nil {
 		cfg.Obs.Counter("svm.smo_iterations").Add(int64(m.Iterations()))
 		cfg.Obs.Counter("svm.support_vectors").Add(int64(m.SupportVectors()))

@@ -11,6 +11,13 @@
 # with BENCH_THRESHOLD=0.50). Timing gates are noisy on shared runners,
 # so CI runs this step non-blocking; run it locally before and after
 # performance-sensitive changes.
+#
+# `check.sh speedup` measures the parallel execution layer: it runs the
+# same benchmark at workers=1 and workers=GOMAXPROCS and asks benchdiff
+# -expect-speedup whether the parallel run's wall clock beat the
+# sequential one by SPEEDUP_MIN (default 1.3x). Wall-clock speedups are
+# hardware-dependent — a single-core machine legitimately measures
+# ~1.0x — so this gate is informational and CI runs it non-blocking.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,6 +28,20 @@ if [ "${1:-}" = "bench" ]; then
 	echo ">> go run ./cmd/benchdiff BENCH_pipeline.json $out"
 	go run ./cmd/benchdiff BENCH_pipeline.json "$out"
 	echo "OK (bench)"
+	exit 0
+fi
+
+if [ "${1:-}" = "speedup" ]; then
+	seq="${SEQ_OUT:-/tmp/BENCH_seq.json}"
+	par="${PAR_OUT:-/tmp/BENCH_par.json}"
+	min="${SPEEDUP_MIN:-1.3}"
+	echo ">> go run ./cmd/experiments -benchjson $seq -workers 1"
+	go run ./cmd/experiments -benchjson "$seq" -workers 1
+	echo ">> go run ./cmd/experiments -benchjson $par -workers 0"
+	go run ./cmd/experiments -benchjson "$par" -workers 0
+	echo ">> go run ./cmd/benchdiff -expect-speedup $min $seq $par"
+	go run ./cmd/benchdiff -expect-speedup "$min" "$seq" "$par"
+	echo "OK (speedup)"
 	exit 0
 fi
 
@@ -35,6 +56,15 @@ go run ./cmd/dfpc-vet ./...
 
 echo ">> go test -race -timeout 10m ./..."
 go test -race -timeout 10m ./...
+
+# Parallel-determinism gate: the worker count must be invisible in
+# mined patterns, selected features, predictions, and CV statistics.
+# The suite is part of ./... above; this explicit pass keeps the
+# contract visible in the gate's output and re-runs it under -race with
+# a fresh count so a cached "ok" can never mask a regression.
+echo ">> go test -race -count=1 -run 'Determinism|Parallel' ./ ./internal/parallel/ ./internal/mining/ ./internal/svm/ ./internal/eval/ ./internal/featsel/"
+go test -race -count=1 -timeout 10m -run 'Determinism|Parallel' \
+	./ ./internal/parallel/ ./internal/mining/ ./internal/svm/ ./internal/eval/ ./internal/featsel/
 
 # Short fuzz smoke: one target per invocation (go test accepts a single
 # -fuzz pattern), ~10s each. Catches shallow parser crashers early;
