@@ -12,7 +12,9 @@ package dfpc
 // -v run doubles as a results transcript.
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"testing"
@@ -364,6 +366,37 @@ func BenchmarkFitInstrumentationOn(b *testing.B) {
 // rejects every level before formatting).
 func BenchmarkFitInstrumentationOnWithLog(b *testing.B) {
 	benchFitObserved(b, NewObserver(), obs.DiscardLogger())
+}
+
+// BenchmarkFitIntrospectionDeep prices the full introspection path on
+// top of the live observer: snapshotting the RunReport, exporting the
+// Perfetto trace, and producing per-prediction explanations. Compare
+// against BenchmarkFitInstrumentationOn for the introspection surcharge
+// and against BenchmarkFitInstrumentationOff for the total.
+func BenchmarkFitIntrospectionDeep(b *testing.B) {
+	d, err := Generate("heart", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	o := NewObserver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Reset()
+		clf := NewClassifier(PatFS, SVM, WithMinSupport(0.15), WithObserver(o))
+		if err := clf.Fit(d, rows); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := clf.PredictExplain(context.Background(), d, rows[:50]); err != nil {
+			b.Fatal(err)
+		}
+		if err := o.Report("bench").WriteTrace(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchFitObserved(b *testing.B, o *Observer, log *slog.Logger) {

@@ -46,6 +46,7 @@ func main() {
 		sortBy   = flag.String("sort", "ig", "ranking: ig, fisher, or support")
 		verbose  = flag.Bool("verbose", false, "print a stage-timing tree and mining counters to stderr")
 		reportTo = flag.String("report", "", "write a JSON RunReport of the mining run here")
+		traceTo  = flag.String("tracejson", "", "write a Chrome trace_event JSON timeline here (open in ui.perfetto.dev)")
 
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the mining run (0 = unbounded)")
 		onBudget = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
@@ -76,7 +77,7 @@ func main() {
 	}()
 
 	var o *obs.Observer
-	if *verbose || *reportTo != "" || tf.NeedsObserver() {
+	if *verbose || *reportTo != "" || *traceTo != "" || tf.NeedsObserver() {
 		o = obs.New()
 	}
 	ctx := context.Background()
@@ -90,6 +91,7 @@ func main() {
 		fail(err)
 	}
 	defer ses.Close()
+	o.SetLogger(ses.Log) // surface span-leak warnings
 
 	sp := o.Start("load")
 	d, err := load(*dataPath, *arffPath, *lucsPath, *bundled, *seed)
@@ -148,12 +150,15 @@ func main() {
 		ig, fr float64
 	}
 	sp = o.Start("score").Attr("patterns", len(ps))
+	qr := measures.NewQualityRecorder(o, b.ClassMasks)
 	rows := make([]scored, len(ps))
 	for i, p := range ps {
 		cover := b.Cover(p.Items)
+		ig := measures.InfoGain(cover, b.ClassMasks)
+		qr.Observe(ig, cover.Count(), p.Len())
 		rows[i] = scored{
 			p:  p,
-			ig: measures.InfoGain(cover, b.ClassMasks),
+			ig: ig,
 			fr: measures.FisherScore(cover, b.ClassMasks),
 		}
 	}
@@ -211,6 +216,20 @@ func main() {
 				fail(err)
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
+		}
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.WriteTrace(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			ses.Log.Info("trace written", "path", *traceTo)
 		}
 	}
 	warnings := make([]string, 0, len(degs))

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,11 +44,12 @@ func main() {
 		svmC      = flag.Float64("C", 1, "SVM soft-margin penalty")
 		gamma     = flag.Float64("gamma", 0, "RBF γ (0 = 1/numFeatures)")
 		useFisher = flag.Bool("fisher", false, "use Fisher score instead of information gain as MMRFS relevance")
-		explain   = flag.Int("explain", 0, "print the top-N selected patterns with their measures")
+		explain   = flag.Int("explain", 0, "print the top-N selected patterns; with -load, print per-prediction explanations for the first N rows as JSONL")
 		saveTo    = flag.String("save", "", "after evaluation, train on the full dataset and save the model here")
 		loadFrom  = flag.String("load", "", "load a saved model and predict the dataset (no training)")
 		verbose   = flag.Bool("verbose", false, "print per-fold progress and a stage-timing tree")
 		reportTo  = flag.String("report", "", "write a JSON RunReport of the evaluation here")
+		traceTo   = flag.String("tracejson", "", "write a Chrome trace_event JSON timeline here (open in ui.perfetto.dev)")
 
 		timeout      = flag.Duration("timeout", 0, "whole-run wall-clock bound (0 = unbounded)")
 		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
@@ -94,7 +96,7 @@ func main() {
 	}
 
 	if *loadFrom != "" {
-		if err := predictOnly(*loadFrom, d); err != nil {
+		if err := predictOnly(*loadFrom, d, *explain); err != nil {
 			fail(err)
 		}
 		return
@@ -152,7 +154,7 @@ func main() {
 	}
 
 	var o *dfpc.Observer
-	if *verbose || *reportTo != "" || tf.NeedsObserver() {
+	if *verbose || *reportTo != "" || *traceTo != "" || tf.NeedsObserver() {
 		o = dfpc.NewObserver()
 	}
 	ses, err = tf.Start(ctx, "dfpc", o, *verbose)
@@ -161,6 +163,7 @@ func main() {
 	}
 	defer ses.Close()
 	clf.SetLogger(ses.Log)
+	o.SetLogger(ses.Log) // surface span-leak warnings
 
 	res, err := dfpc.CrossValidateContext(ctx, clf, d, *folds, *seed, dfpc.CVOptions{
 		Obs:             o,
@@ -209,6 +212,12 @@ func main() {
 	var rep *dfpc.RunReport
 	if o != nil {
 		rep = o.Report(d.Name)
+		// The audit rides the report of the final (sequential-equivalent)
+		// fold's fit, attached here rather than by the observer so
+		// parallel folds can't race on it.
+		if len(clf.Stats.SelectionAudit) > 0 {
+			rep.Audits = map[string]any{"mmrfs": clf.Stats.SelectionAudit}
+		}
 		ses.AddRun(rep)
 		// Stage detail goes to stderr: stdout carries only the summary
 		// above, so it stays machine-parseable.
@@ -230,6 +239,16 @@ func main() {
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
 		}
+		if *traceTo != "" {
+			if err := writeTrace(rep, *traceTo); err != nil {
+				fail(err)
+			}
+			ses.Log.Info("trace written", "path", *traceTo)
+		}
+	}
+	var audits map[string]any
+	if len(clf.Stats.SelectionAudit) > 0 {
+		audits = map[string]any{"mmrfs": clf.Stats.SelectionAudit}
 	}
 	ses.Journal(telemetry.Record{
 		Kind:    "cv",
@@ -248,6 +267,7 @@ func main() {
 		WallNS:      int64(res.TrainTime + res.TestTime),
 		Stages:      telemetry.StagesFromReport(rep),
 		Warnings:    warnings,
+		Audits:      audits,
 	})
 	if *saveTo != "" {
 		rows := make([]int, d.NumRows())
@@ -270,8 +290,11 @@ func main() {
 }
 
 // predictOnly loads a saved model and prints one predicted class per
-// dataset row.
-func predictOnly(path string, d *dfpc.Dataset) error {
+// dataset row. With explainN > 0 it instead prints per-prediction
+// explanations for the first N rows, one JSON object per line: the
+// fired patterns with their measures and SVM weight contributions (or
+// the C4.5 decision path).
+func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -280,6 +303,26 @@ func predictOnly(path string, d *dfpc.Dataset) error {
 	clf, err := dfpc.LoadModel(f)
 	if err != nil {
 		return err
+	}
+	if explainN > 0 {
+		if explainN > d.NumRows() {
+			explainN = d.NumRows()
+		}
+		rows := make([]int, explainN)
+		for i := range rows {
+			rows[i] = i
+		}
+		exps, err := clf.PredictExplain(context.Background(), d, rows)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, ex := range exps {
+			if err := enc.Encode(ex); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	rows := make([]int, d.NumRows())
 	for i := range rows {
@@ -299,6 +342,19 @@ func predictOnly(path string, d *dfpc.Dataset) error {
 	fmt.Fprintf(os.Stderr, "accuracy vs labels in file: %.2f%%\n",
 		100*float64(correct)/float64(len(pred)))
 	return nil
+}
+
+// writeTrace writes rep as Chrome trace_event JSON at path.
+func writeTrace(rep *dfpc.RunReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printExplanation renders the top-n selected patterns of the last

@@ -44,6 +44,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
 	verbose := flag.Bool("verbose", false, "print a stage-timing tree after the run")
 	reportTo := flag.String("report", "", "write a JSON RunReport of the run here")
+	traceTo := flag.String("tracejson", "", "write a Chrome trace_event JSON timeline here (open in ui.perfetto.dev)")
 	benchJSON := flag.String("benchjson", "", "run the instrumented pipeline benchmark and write per-stage reports here (e.g. BENCH_pipeline.json)")
 	timeout := flag.Duration("timeout", 0, "whole-run wall-clock bound (0 = unbounded)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage wall-clock bound within each fit (0 = unbounded)")
@@ -96,7 +97,7 @@ func main() {
 		cfg.ctx, cancel = context.WithTimeout(cfg.ctx, *timeout)
 		defer cancel()
 	}
-	if *verbose || *reportTo != "" || tf.NeedsObserver() {
+	if *verbose || *reportTo != "" || *traceTo != "" || tf.NeedsObserver() {
 		cfg.obs = obs.New()
 	}
 	ses, err = tf.Start(cfg.ctx, "experiments", cfg.obs, *verbose)
@@ -105,6 +106,7 @@ func main() {
 	}
 	defer ses.Close()
 	cfg.log = ses.Log
+	cfg.obs.SetLogger(ses.Log) // surface span-leak warnings
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, ses, cfg.workers); err != nil {
@@ -166,6 +168,20 @@ func main() {
 				fail(err)
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
+		}
+		if *traceTo != "" {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fail(err)
+			}
+			if err := rep.WriteTrace(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			ses.Log.Info("trace written", "path", *traceTo)
 		}
 	}
 	kind := "table"

@@ -319,9 +319,19 @@ type Classifier = core.Pipeline
 type Observer = obs.Observer
 
 // RunReport is the machine-readable summary of an observed run; it
-// JSON round-trips losslessly and renders as a human-readable tree or
-// CSV (WriteTree/WriteJSON/WriteCSV).
+// JSON round-trips losslessly and renders as a human-readable tree,
+// CSV, or a Chrome trace_event timeline loadable in Perfetto
+// (WriteTree/WriteJSON/WriteCSV/WriteTrace).
 type RunReport = obs.RunReport
+
+// PredictionExplanation is the per-row evidence returned by
+// Classifier.PredictExplain: the fired pattern features with their
+// training-set measures and (for linear SVMs) signed weight
+// contributions, plus the learner's own decision breakdown.
+type PredictionExplanation = core.PredictionExplanation
+
+// FiredPattern is one pattern feature that matched an explained row.
+type FiredPattern = core.FiredPattern
 
 // ProgressFunc is notified after each completed cross-validation fold.
 type ProgressFunc = eval.ProgressFunc

@@ -16,6 +16,7 @@ var All = []*Analyzer{
 	Obsnil,
 	Mathrange,
 	Parasafe,
+	Spanend,
 }
 
 // Lookup returns the registered analyzer with the given name.

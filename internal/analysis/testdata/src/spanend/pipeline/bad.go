@@ -1,0 +1,39 @@
+// Positive fixtures: spans from obs.Start that never reach an End().
+package pipeline
+
+import "dfpc/internal/obs"
+
+// discarded drops the span on the floor: the classic leak.
+func discarded(o *obs.Observer) {
+	o.Start("work") // want "span from obs.Start is discarded without End"
+}
+
+// discardedWithAttr still never ends — Attr returns the span, it does
+// not close it.
+func discardedWithAttr(o *obs.Observer, n int) {
+	o.Start("work").Attr("rows", n) // want "span from obs.Start is discarded without End"
+}
+
+// deferredAttr defers the wrong call: the span is configured, never
+// ended.
+func deferredAttr(o *obs.Observer, n int) {
+	defer o.Start("work").Attr("rows", n) // want "span from obs.Start is discarded without End"
+}
+
+// assignedNeverEnded binds the span but no path calls End on it.
+func assignedNeverEnded(o *obs.Observer) int {
+	sp := o.Start("work") // want "span assigned to sp has no End"
+	_ = sp
+	return 1
+}
+
+// blankAssign throws the span away explicitly.
+func blankAssign(o *obs.Observer) {
+	_ = o.Start("work") // want "span from obs.Start is discarded without End"
+}
+
+// onlyAttrLater configures the bound span but still never ends it.
+func onlyAttrLater(o *obs.Observer, n int) {
+	sp := o.Start("work") // want "span assigned to sp has no End"
+	sp.Attr("rows", n)
+}

@@ -1,0 +1,74 @@
+// Negative fixtures: the sanctioned span-lifetime shapes.
+package pipeline
+
+import "dfpc/internal/obs"
+
+// deferEnd is the canonical form.
+func deferEnd(o *obs.Observer, n int) {
+	sp := o.Start("work").Attr("rows", n)
+	defer sp.End()
+	_ = n
+}
+
+// chainedEnd ends inline on the Start expression itself.
+func chainedEnd(o *obs.Observer) {
+	o.Start("work").End()
+}
+
+// deferChain defers the whole chain.
+func deferChain(o *obs.Observer) {
+	defer o.Start("work").End()
+}
+
+// endLater ends through the variable after the work, with a chained
+// Attr on the way out.
+func endLater(o *obs.Observer, n int) {
+	sp := o.Start("work")
+	n *= 2
+	sp.Attr("rows", n).End()
+}
+
+// multiPath ends the span on both the error and the success path, the
+// shape core.FitContext uses.
+func multiPath(o *obs.Observer, fail bool) error {
+	sp := o.Start("work")
+	if fail {
+		sp.End()
+		return errOp
+	}
+	sp.Attr("ok", 1).End()
+	return nil
+}
+
+// reassigned reuses one variable for consecutive stages; each span is
+// ended before the next Start.
+func reassigned(o *obs.Observer) {
+	sp := o.Start("stage-1")
+	sp.End()
+	sp = o.Start("stage-2")
+	sp.End()
+}
+
+// closureEnd ends the span inside a deferred closure.
+func closureEnd(o *obs.Observer) {
+	sp := o.Start("work")
+	defer func() { sp.End() }()
+}
+
+// escapes returns the span: the caller owns its lifetime.
+func escapes(o *obs.Observer) *obs.Span {
+	return o.Start("work")
+}
+
+// passedAlong hands the span to a helper that ends it.
+func passedAlong(o *obs.Observer) {
+	finish(o.Start("work"))
+}
+
+func finish(sp *obs.Span) { sp.End() }
+
+type opError struct{}
+
+func (opError) Error() string { return "op failed" }
+
+var errOp error = opError{}

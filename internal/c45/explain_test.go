@@ -1,0 +1,96 @@
+package c45
+
+import (
+	"testing"
+)
+
+// pathFixture: feature 0 perfectly splits the classes; features 2..3
+// are noise.
+func pathFixture() (x [][]int32, y []int) {
+	x = [][]int32{
+		{0, 2}, {0, 3}, {0}, {0, 2, 3},
+		{2}, {3}, {1, 2}, {1, 3},
+	}
+	y = []int{0, 0, 0, 0, 1, 1, 1, 1}
+	return x, y
+}
+
+func TestPredictPathMatchesPredict(t *testing.T) {
+	x, y := pathFixture()
+	m, err := Train(x, y, 2, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		pr := m.PredictPath(row)
+		if want := m.Predict(row); pr.Class != want {
+			t.Fatalf("row %d: PredictPath class %d, Predict %d", i, pr.Class, want)
+		}
+		if pr.LeafTotal <= 0 {
+			t.Fatalf("row %d: leaf total %d, want positive training mass", i, pr.LeafTotal)
+		}
+		total := 0
+		for _, c := range pr.LeafCounts {
+			total += c
+		}
+		if total != pr.LeafTotal {
+			t.Fatalf("row %d: leaf counts %v sum %d != total %d", i, pr.LeafCounts, total, pr.LeafTotal)
+		}
+		// Each recorded step must be consistent with the row's features.
+		for j, st := range pr.Steps {
+			if st.Present != hasFeature(row, st.Feature) {
+				t.Fatalf("row %d step %d: recorded Present=%v for feature %d, row is %v",
+					i, j, st.Present, st.Feature, row)
+			}
+		}
+	}
+	_ = y
+}
+
+// TestPredictPathReplay: replaying the recorded steps through the tree
+// lands on the same leaf class.
+func TestPredictPathReplay(t *testing.T) {
+	x, y := pathFixture()
+	m, err := Train(x, y, 2, Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		pr := m.PredictPath(row)
+		nd := m.root
+		for _, st := range pr.Steps {
+			if nd.feature != st.Feature {
+				t.Fatalf("row %d: step names feature %d, node tests %d", i, st.Feature, nd.feature)
+			}
+			if st.Present {
+				nd = nd.present
+			} else {
+				nd = nd.absent
+			}
+		}
+		if nd.feature >= 0 {
+			t.Fatalf("row %d: replayed path stops at an internal node", i)
+		}
+		if nd.class != pr.Class {
+			t.Fatalf("row %d: replayed leaf class %d != recorded %d", i, nd.class, pr.Class)
+		}
+	}
+}
+
+// TestPredictPathSingleLeaf: a tree pruned to one leaf yields an empty
+// path, not a panic.
+func TestPredictPathSingleLeaf(t *testing.T) {
+	x := [][]int32{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 0, 0}
+	m, err := Train(x, y, 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := m.PredictPath([]int32{0})
+	if len(pr.Steps) != 0 {
+		t.Fatalf("single-leaf tree recorded steps: %+v", pr.Steps)
+	}
+	if pr.Class != 0 || pr.LeafTotal != 4 {
+		t.Fatalf("single-leaf path: %+v", pr)
+	}
+}

@@ -254,6 +254,13 @@ type FitStats struct {
 	// run): min_sup escalations under DegradeOnBudget, non-converged
 	// SMO solves. A model with warnings is usable but not pristine.
 	Warnings []Warning
+	// SelectionAudit is MMRFS's per-iteration decision trail — which
+	// candidate each iteration picked, its relevance/redundancy/gain,
+	// and the accept-or-drop outcome. Recorded only when an observer
+	// was installed during Fit and a selection stage ran; the greedy
+	// loop is sequential, so the trail is identical at any worker
+	// count.
+	SelectionAudit []featsel.AuditEntry
 }
 
 // warn appends a degradation record to the current fit's stats and
@@ -652,6 +659,7 @@ func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 	}
 	p.Stats.MinedCount = b.NumItems()
 	p.Stats.FeatureCount = len(res.Selected)
+	p.Stats.SelectionAudit = res.Audit
 	o.Counter("core.features_selected").Add(int64(len(res.Selected)))
 	return nil
 }
@@ -711,6 +719,20 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 	p.Stats.MinedCount = len(mined)
 	o.Counter("core.patterns_mined").Add(int64(len(mined)))
 
+	if o.Enabled() && len(mined) > 0 {
+		// Search-space quality pass (introspection only): realized IG of
+		// every mined pattern feeds the by-support/by-length histograms
+		// and the IGub bound-tightness stats, reproducing the paper's
+		// Figures 1–3 characterization from this run's own pool.
+		qs := o.Start("score-space").Attr("patterns", len(mined))
+		rec := measures.NewQualityRecorder(o, b.ClassMasks)
+		for _, pt := range mined {
+			cover := b.Cover(pt.Items)
+			rec.Observe(measures.InfoGain(cover, b.ClassMasks), cover.Count(), pt.Len())
+		}
+		qs.End()
+	}
+
 	if !p.cfg.SelectPatterns {
 		p.patterns = mined
 		p.Stats.FeatureCount = len(mined)
@@ -735,6 +757,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		sp.End()
 		return fmt.Errorf("core: pattern MMRFS: %w", err)
 	}
+	p.Stats.SelectionAudit = res.Audit
 	p.patterns = make([]mining.Pattern, len(res.Selected))
 	for i, idx := range res.Selected {
 		p.patterns[i] = mined[idx]

@@ -1,0 +1,124 @@
+package featsel
+
+import (
+	"testing"
+
+	"dfpc/internal/bitset"
+	"dfpc/internal/obs"
+)
+
+// auditFixture builds a 3-row, 2-class pool engineered so the greedy
+// loop must reject one candidate for covering no uncovered instance:
+// labels are [0,0,1]; three duplicate candidates cover row 0 and one
+// covers row 1, with δ=2. The scan selects c0, then c3 (c1/c2 are
+// fully redundant with c0), then c1 (row 0 still below δ), and finally
+// picks c2 — whose only row is now at δ — which must be rejected.
+func auditFixture() (cands []Candidate, masks []*bitset.Bitset, labels []int) {
+	cover := func(rows ...int) *bitset.Bitset {
+		b := bitset.New(3)
+		for _, r := range rows {
+			b.Set(r)
+		}
+		return b
+	}
+	cands = []Candidate{
+		{Items: []int32{0}, Cover: cover(0)},
+		{Items: []int32{1}, Cover: cover(0)},
+		{Items: []int32{2}, Cover: cover(0)},
+		{Items: []int32{3}, Cover: cover(1)},
+	}
+	masks = []*bitset.Bitset{cover(0, 1), cover(2)}
+	labels = []int{0, 0, 1}
+	return cands, masks, labels
+}
+
+func TestMMRFSAuditTrail(t *testing.T) {
+	cands, masks, labels := auditFixture()
+	o := obs.New()
+	res, err := MMRFS(cands, masks, labels, Options{Coverage: 2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Audit) == 0 {
+		t.Fatal("no audit entries with observability on")
+	}
+
+	accepted := 0
+	for i, e := range res.Audit {
+		if e.Iteration != i+1 {
+			t.Fatalf("audit[%d].Iteration = %d, want %d (decisions number from 1)", i, e.Iteration, i+1)
+		}
+		if e.Candidate < 0 || e.Candidate >= len(cands) {
+			t.Fatalf("audit[%d] names out-of-range candidate %d", i, e.Candidate)
+		}
+		if len(e.Items) == 0 {
+			t.Fatalf("audit[%d] lost the candidate's itemset", i)
+		}
+		if g := e.Relevance - e.Redundancy; g != e.Gain {
+			t.Fatalf("audit[%d]: gain %v != relevance %v - redundancy %v", i, e.Gain, e.Relevance, e.Redundancy)
+		}
+		switch {
+		case e.Accepted && e.Reason != "selected":
+			t.Fatalf("audit[%d]: accepted with reason %q", i, e.Reason)
+		case !e.Accepted && e.Reason != "no-uncovered-instance":
+			t.Fatalf("audit[%d]: rejected with reason %q", i, e.Reason)
+		}
+		if e.Accepted {
+			if res.Selected[accepted] != e.Candidate {
+				t.Fatalf("audit[%d]: accepted candidate %d but Selected[%d] = %d",
+					i, e.Candidate, accepted, res.Selected[accepted])
+			}
+			accepted++
+		}
+	}
+	if accepted != len(res.Selected) {
+		t.Fatalf("%d accepted audit entries, %d selected features", accepted, len(res.Selected))
+	}
+
+	// The fixture forces exactly one coverage rejection.
+	var rejected int
+	for _, e := range res.Audit {
+		if !e.Accepted {
+			rejected++
+		}
+	}
+	if rejected != 1 {
+		t.Fatalf("fixture expects exactly 1 rejection, audit recorded %d: %+v", rejected, res.Audit)
+	}
+
+	r := o.Report("mmrfs")
+	if got := r.Counters["mmrfs.iterations"]; got != int64(len(res.Audit)) {
+		t.Fatalf("mmrfs.iterations = %d, want %d (one per audit entry)", got, len(res.Audit))
+	}
+	if got := r.Counters["mmrfs.rejected_no_coverage"]; got != 1 {
+		t.Fatalf("mmrfs.rejected_no_coverage = %d, want 1", got)
+	}
+	if h := r.Histograms["mmrfs.gain_microbits"]; h.Count == 0 {
+		t.Fatal("mmrfs.gain_microbits histogram is empty")
+	}
+}
+
+// TestMMRFSAuditOffByDefault: without an observer the trail is not
+// recorded and the selected set is unchanged.
+func TestMMRFSAuditOffByDefault(t *testing.T) {
+	cands, masks, labels := auditFixture()
+	plain, err := MMRFS(cands, masks, labels, Options{Coverage: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Audit != nil {
+		t.Fatalf("audit recorded without an observer: %+v", plain.Audit)
+	}
+	observed, err := MMRFS(cands, masks, labels, Options{Coverage: 2, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Selected) != len(observed.Selected) {
+		t.Fatalf("observer changed selection size: %v vs %v", plain.Selected, observed.Selected)
+	}
+	for i := range plain.Selected {
+		if plain.Selected[i] != observed.Selected[i] {
+			t.Fatalf("observer changed selection: %v vs %v", plain.Selected, observed.Selected)
+		}
+	}
+}

@@ -102,6 +102,33 @@ type Result struct {
 	// Relevance holds S(α) for every candidate (same indexing as the
 	// input slice), useful for diagnostics and the figures.
 	Relevance []float64
+	// Audit is the per-iteration decision trail, recorded only when
+	// Options.Obs is enabled (the greedy loop is sequential, so the
+	// trail is identical at any worker count). Entries appear in
+	// decision order; accepted entries correspond 1:1 with Selected.
+	Audit []AuditEntry
+}
+
+// AuditEntry records one MMRFS iteration's decision: which candidate
+// the gain scan picked, the Eq. 10 quantities behind the pick, and
+// whether the coverage test accepted it.
+type AuditEntry struct {
+	// Iteration numbers decisions from 1.
+	Iteration int `json:"iter"`
+	// Candidate indexes the input candidate slice.
+	Candidate int `json:"candidate"`
+	// Items is the candidate's itemset.
+	Items []int32 `json:"items"`
+	// Relevance is S(α); Redundancy is max over the selected set of
+	// R(α,β) at decision time; Gain is their difference (Eq. 10).
+	Relevance  float64 `json:"relevance"`
+	Redundancy float64 `json:"redundancy"`
+	Gain       float64 `json:"gain"`
+	// Accepted is true when the candidate joined the selected set;
+	// Reason is "selected" or "no-uncovered-instance" (the candidate
+	// correctly covers no instance still below δ and is dropped).
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason"`
 }
 
 // parallelMinCandidates is the candidate-pool size below which the
@@ -339,6 +366,9 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 
 	sp.Attr("coverable", coverable)
 	iterations := opt.Obs.Counter("mmrfs.iterations")
+	rejected := opt.Obs.Counter("mmrfs.rejected_no_coverage")
+	gainHist := opt.Obs.Histogram("mmrfs.gain_microbits")
+	audit := opt.Obs.Enabled()
 	dropped := 0
 	for {
 		// Each iteration scans the whole candidate pool (pick + add are
@@ -358,13 +388,33 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 			break // pool exhausted
 		}
 		iterations.Inc()
-		if correctlyCoversUncovered(i) {
+		accepted := correctlyCoversUncovered(i)
+		if audit {
+			gain := res.Relevance[i] - maxRed[i]
+			reason := "selected"
+			if !accepted {
+				reason = "no-uncovered-instance"
+			}
+			res.Audit = append(res.Audit, AuditEntry{
+				Iteration:  len(res.Audit) + 1,
+				Candidate:  i,
+				Items:      cands[i].Items,
+				Relevance:  res.Relevance[i],
+				Redundancy: maxRed[i],
+				Gain:       gain,
+				Accepted:   accepted,
+				Reason:     reason,
+			})
+			gainHist.Observe(int64(gain * 1e6))
+		}
+		if accepted {
 			add(i)
 		} else {
 			// Cannot contribute coverage: drop from the pool without
 			// selecting (Algorithm 1 line 7 removes β from F either way).
 			inSel[i] = true
 			dropped++
+			rejected.Inc()
 		}
 	}
 	opt.Obs.Counter("mmrfs.selected").Add(int64(len(res.Selected)))

@@ -1,0 +1,169 @@
+package measures
+
+import (
+	"math"
+	"math/bits"
+
+	"dfpc/internal/bitset"
+	"dfpc/internal/obs"
+)
+
+// QualityRecorder streams per-pattern discriminative-power observations
+// into an observer, reproducing the paper's empirical characterization
+// of the search space from any real run:
+//
+//   - mine.ig_by_support.s<B> — information-gain distribution within
+//     each log2 support bucket B (Figures 1–2: IG against support),
+//   - mine.ig_by_len.l<L> — information-gain distribution per pattern
+//     length, lengths ≥ igMaxLenBucket aggregated (Figure 3),
+//   - measures.ig_bound_gap_microbits — distribution of IGub(θ) − IG,
+//     the slack in the Eq. 2/3 bound at each pattern's support, plus
+//     the measures.ig_bound_checks / measures.ig_bound_violations
+//     counter pair (a violation would falsify the bound analysis that
+//     justifies min_sup selection).
+//
+// IG values are recorded in micro-bits (×1e6) because obs histograms
+// bucket int64 samples. All sinks are order-insensitive shared-registry
+// recorders, so totals are identical however the caller's work is
+// scheduled — but one recorder instance must only be used from a single
+// goroutine (its histogram-handle cache is unsynchronized, like the
+// miners' counter caches).
+//
+// A nil *QualityRecorder (observability off) makes Observe a nil check.
+type QualityRecorder struct {
+	o      *obs.Observer
+	n      int
+	priors []float64
+	p      float64 // positive-class prior when exactly two classes
+	two    bool
+
+	checks     *obs.Counter
+	violations *obs.Counter
+	gap        *obs.Histogram
+	bySupport  [64]*obs.Histogram
+	byLen      [igMaxLenBucket]*obs.Histogram
+}
+
+// igMaxLenBucket caps the per-length histogram cardinality; length ≥ 16
+// lands in the last bucket.
+const igMaxLenBucket = 16
+
+// igScale converts bits to the micro-bit integers obs histograms store.
+const igScale = 1e6
+
+// boundEps absorbs float rounding before declaring a bound violated.
+const boundEps = 1e-9
+
+// NewQualityRecorder builds a recorder over the dataset's class masks
+// (one bitset of rows per class, as used by InfoGain). It returns nil —
+// a valid disabled recorder — when the observer is nil.
+func NewQualityRecorder(o *obs.Observer, classMasks []*bitset.Bitset) *QualityRecorder {
+	if o == nil {
+		return nil
+	}
+	n := 0
+	priors := make([]float64, len(classMasks))
+	for _, m := range classMasks {
+		n += m.Count()
+	}
+	if n == 0 {
+		return nil
+	}
+	for i, m := range classMasks {
+		priors[i] = float64(m.Count()) / float64(n)
+	}
+	q := &QualityRecorder{
+		o:          o,
+		n:          n,
+		priors:     priors,
+		two:        len(classMasks) == 2,
+		checks:     o.Counter("measures.ig_bound_checks"),
+		violations: o.Counter("measures.ig_bound_violations"),
+		gap:        o.Histogram("measures.ig_bound_gap_microbits"),
+	}
+	if q.two {
+		q.p = priors[1]
+	}
+	return q
+}
+
+// Bound returns the IG upper bound the recorder checks against at
+// support θ = support/n: the exact two-class IGub (Eq. 2) or the sound
+// multi-class min(H2(θ), H(C)) bound.
+func (q *QualityRecorder) Bound(support int) float64 {
+	if q == nil {
+		return 0
+	}
+	theta := float64(support) / float64(q.n)
+	if q.two {
+		return IGUpperBound(theta, q.p)
+	}
+	return IGUpperBoundMulti(theta, q.priors)
+}
+
+// Observe records one pattern's realized information gain at its
+// absolute support and length.
+func (q *QualityRecorder) Observe(ig float64, support, length int) {
+	if q == nil {
+		return
+	}
+	mb := igMicrobits(ig)
+
+	// IG by support: log2 bucket of the absolute support count.
+	sb := bits.Len(uint(support))
+	if sb >= len(q.bySupport) {
+		sb = len(q.bySupport) - 1
+	}
+	h := q.bySupport[sb]
+	if h == nil {
+		h = q.o.Histogram(igBucketName("mine.ig_by_support.s", sb))
+		q.bySupport[sb] = h
+	}
+	h.Observe(mb)
+
+	// IG by pattern length.
+	lb := length
+	if lb < 1 {
+		lb = 1
+	}
+	if lb > igMaxLenBucket {
+		lb = igMaxLenBucket
+	}
+	h = q.byLen[lb-1]
+	if h == nil {
+		h = q.o.Histogram(igBucketName("mine.ig_by_len.l", lb))
+		q.byLen[lb-1] = h
+	}
+	h.Observe(mb)
+
+	// Bound tightness: realized IG against IGub at this support.
+	ub := q.Bound(support)
+	q.checks.Inc()
+	if ig > ub+boundEps {
+		q.violations.Inc()
+		return
+	}
+	gap := ub - ig
+	if gap < 0 {
+		gap = 0
+	}
+	q.gap.Observe(igMicrobits(gap))
+}
+
+// igMicrobits converts an IG value in bits to clamped micro-bits.
+func igMicrobits(ig float64) int64 {
+	if ig <= 0 || math.IsNaN(ig) {
+		return 0
+	}
+	v := ig * igScale
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v + 0.5)
+}
+
+// igBucketName renders prefix plus a two-digit bucket index, zero-
+// padded so report listings sort numerically.
+func igBucketName(prefix string, b int) string {
+	return prefix + string([]byte{byte('0' + b/10%10), byte('0' + b%10)})
+}

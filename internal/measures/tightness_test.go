@@ -1,0 +1,119 @@
+package measures
+
+import (
+	"math"
+	"testing"
+
+	"dfpc/internal/bitset"
+	"dfpc/internal/obs"
+)
+
+// twoClassMasks builds a 10-row dataset: rows 0–4 class 0, rows 5–9
+// class 1.
+func twoClassMasks() []*bitset.Bitset {
+	c0 := bitset.New(10)
+	c1 := bitset.New(10)
+	for i := 0; i < 5; i++ {
+		c0.Set(i)
+		c1.Set(i + 5)
+	}
+	return []*bitset.Bitset{c0, c1}
+}
+
+func TestQualityRecorderHistograms(t *testing.T) {
+	o := obs.New()
+	q := NewQualityRecorder(o, twoClassMasks())
+	if q == nil {
+		t.Fatal("recorder must be live with a real observer")
+	}
+
+	// A perfect split: a pattern covering exactly the 5 class-0 rows has
+	// IG = H(1/2) = 1 bit, which the bound at θ=0.5 must admit.
+	q.Observe(1.0, 5, 2)
+
+	r := o.Report("tightness")
+	if got := r.Counters["measures.ig_bound_checks"]; got != 1 {
+		t.Fatalf("ig_bound_checks = %d, want 1", got)
+	}
+	if got := r.Counters["measures.ig_bound_violations"]; got != 0 {
+		t.Fatalf("ig_bound_violations = %d, want 0 (IG=1 at θ=0.5 is achievable)", got)
+	}
+	// support 5 → bits.Len(5) = 3 → s03; length 2 → l02.
+	if h, ok := r.Histograms["mine.ig_by_support.s03"]; !ok || h.Count != 1 {
+		t.Fatalf("mine.ig_by_support.s03 missing or wrong count: %+v (have %v)", h, keys(r.Histograms))
+	}
+	if h, ok := r.Histograms["mine.ig_by_len.l02"]; !ok || h.Count != 1 {
+		t.Fatalf("mine.ig_by_len.l02 missing or wrong count: %+v", h)
+	}
+	if h, ok := r.Histograms["measures.ig_bound_gap_microbits"]; !ok || h.Count != 1 {
+		t.Fatalf("gap histogram missing or wrong count: %+v", h)
+	}
+}
+
+func TestQualityRecorderBoundViolation(t *testing.T) {
+	o := obs.New()
+	q := NewQualityRecorder(o, twoClassMasks())
+	// 10 bits of IG on a 2-class problem is impossible: must count as a
+	// violation and record no gap sample.
+	q.Observe(10.0, 5, 2)
+	r := o.Report("violation")
+	if got := r.Counters["measures.ig_bound_violations"]; got != 1 {
+		t.Fatalf("ig_bound_violations = %d, want 1", got)
+	}
+	if h := r.Histograms["measures.ig_bound_gap_microbits"]; h.Count != 0 {
+		t.Fatalf("violations must not feed the gap histogram: %+v", h)
+	}
+}
+
+func TestQualityRecorderBoundMatchesMeasures(t *testing.T) {
+	q := NewQualityRecorder(obs.New(), twoClassMasks())
+	for _, sup := range []int{1, 3, 5, 8, 10} {
+		theta := float64(sup) / 10
+		want := IGUpperBound(theta, 0.5)
+		if got := q.Bound(sup); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Bound(%d) = %v, want IGUpperBound(%v, 0.5) = %v", sup, got, theta, want)
+		}
+	}
+}
+
+func TestQualityRecorderMultiClass(t *testing.T) {
+	c0, c1, c2 := bitset.New(9), bitset.New(9), bitset.New(9)
+	for i := 0; i < 3; i++ {
+		c0.Set(i)
+		c1.Set(i + 3)
+		c2.Set(i + 6)
+	}
+	o := obs.New()
+	q := NewQualityRecorder(o, []*bitset.Bitset{c0, c1, c2})
+	q.Observe(0.5, 3, 1)
+	r := o.Report("multi")
+	if got := r.Counters["measures.ig_bound_checks"]; got != 1 {
+		t.Fatalf("checks = %d, want 1", got)
+	}
+	if got := r.Counters["measures.ig_bound_violations"]; got != 0 {
+		t.Fatalf("violations = %d, want 0", got)
+	}
+}
+
+func TestQualityRecorderNilSafe(t *testing.T) {
+	if q := NewQualityRecorder(nil, twoClassMasks()); q != nil {
+		t.Fatal("nil observer must yield a nil (disabled) recorder")
+	}
+	var q *QualityRecorder
+	q.Observe(1.0, 5, 2) // must not panic
+	if q.Bound(5) != 0 {
+		t.Fatal("nil recorder Bound must be 0")
+	}
+	// Empty masks are also a disabled recorder, not a divide-by-zero.
+	if q := NewQualityRecorder(obs.New(), []*bitset.Bitset{bitset.New(4), bitset.New(4)}); q != nil {
+		t.Fatal("zero-row masks must yield a nil recorder")
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

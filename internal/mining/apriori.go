@@ -24,6 +24,8 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 	var out []Pattern
 	candCounter := opt.Obs.Counter("mine.apriori_candidates")
 	emitted := opt.Obs.Counter("mine.patterns_emitted")
+	subsetPruned := opt.Obs.Counter("mine.apriori_subset_pruned")
+	ss := newSearchSpace(opt.Obs)
 
 	// Level 1: frequent single items.
 	counts := map[int32]int{}
@@ -41,7 +43,11 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 		}
 	}
 	sortItemsets(level)
+	ss.candidates.add(1, int64(len(counts)))
+	ss.infrequent.add(1, int64(len(counts)-len(level)))
+	ss.emitted.add(1, int64(len(level)))
 	if opt.MaxPatterns > 0 && len(out) > opt.MaxPatterns {
+		ss.budget.add(1, int64(len(out)-opt.MaxPatterns))
 		return out[:opt.MaxPatterns], ErrPatternBudget
 	}
 
@@ -51,7 +57,12 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 		if opt.MaxLen > 0 && k > opt.MaxLen {
 			break
 		}
-		cands := generateCandidates(level)
+		cands, joinPruned := generateCandidates(level)
+		// Every join result is a considered candidate; the ones with an
+		// infrequent (k-1)-subset are pruned before support counting.
+		ss.candidates.add(k, int64(len(cands)+joinPruned))
+		ss.infrequent.add(k, int64(joinPruned))
+		subsetPruned.Add(int64(joinPruned))
 		if len(cands) == 0 {
 			break
 		}
@@ -78,9 +89,13 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 				next = append(next, cand)
 				out = append(out, Pattern{Items: cand, Support: candCount[ci]})
 				emitted.Inc()
+				ss.emitted.inc(len(cand))
 				if opt.MaxPatterns > 0 && len(out) >= opt.MaxPatterns {
+					ss.budget.inc(len(cand))
 					return out, ErrPatternBudget
 				}
+			} else {
+				ss.infrequent.inc(len(cand))
 			}
 		}
 		level = next
@@ -89,13 +104,14 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 }
 
 // generateCandidates joins frequent (k-1)-itemsets sharing a (k-2)
-// prefix and prunes candidates with an infrequent (k-1)-subset.
-func generateCandidates(level [][]int32) [][]int32 {
+// prefix and prunes candidates with an infrequent (k-1)-subset. It
+// returns the surviving candidates plus the number pruned by the
+// subset test, so the caller can account for the full join output.
+func generateCandidates(level [][]int32) (cands [][]int32, pruned int) {
 	freq := map[string]bool{}
 	for _, s := range level {
 		freq[itemsKey(s)] = true
 	}
-	var cands [][]int32
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
 			a, b := level[i], level[j]
@@ -112,10 +128,12 @@ func generateCandidates(level [][]int32) [][]int32 {
 			}
 			if allSubsetsFrequent(cand, freq) {
 				cands = append(cands, cand)
+			} else {
+				pruned++
 			}
 		}
 	}
-	return cands
+	return cands, pruned
 }
 
 func samePrefix(a, b []int32, n int) bool {

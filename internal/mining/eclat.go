@@ -58,10 +58,15 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 		g:       opt.guard(),
 		emitted: opt.Obs.Counter("mine.patterns_emitted"),
 		inters:  opt.Obs.Counter("mine.eclat_intersections"),
+		ss:      newSearchSpace(opt.Obs),
 	}
 	if err := m.g.CheckNow(); err != nil {
 		return nil, err
 	}
+	// Depth-1 candidates are the distinct items; the infrequent ones
+	// were pruned while building the vertical columns above.
+	m.ss.candidates.add(1, int64(len(counts)))
+	m.ss.infrequent.add(1, int64(len(counts)-len(cols)))
 	// Depth-first over prefix classes: extend each item with the items
 	// after it (ascending item order keeps patterns canonical).
 	type node struct {
@@ -88,8 +93,13 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 				inter := nd.tids.Clone()
 				inter.And(other.tids)
 				m.inters.Inc()
+				// Each intersection materializes a candidate one item
+				// deeper than newPrefix; failing min_sup is the prune.
+				m.ss.candidates.inc(len(newPrefix) + 1)
 				if c := inter.Count(); c >= m.opt.MinSupport {
 					next = append(next, node{item: other.item, tids: inter, count: c})
+				} else {
+					m.ss.infrequent.inc(len(newPrefix) + 1)
 				}
 			}
 			if len(next) > 0 {
@@ -116,10 +126,12 @@ type eclatMiner struct {
 
 	emitted *obs.Counter
 	inters  *obs.Counter
+	ss      searchSpace
 }
 
 func (m *eclatMiner) emit(items []int32, support int) error {
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
+		m.ss.budget.inc(len(items))
 		return ErrPatternBudget
 	}
 	if err := m.g.Check(); err != nil {
@@ -127,5 +139,6 @@ func (m *eclatMiner) emit(items []int32, support int) error {
 	}
 	m.out = append(m.out, Pattern{Items: append([]int32(nil), items...), Support: support})
 	m.emitted.Inc()
+	m.ss.emitted.inc(len(items))
 	return nil
 }

@@ -49,6 +49,7 @@ func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
 		nodes:    opt.Obs.Counter("mine.fptree_nodes"),
 		emitted:  opt.Obs.Counter("mine.patterns_emitted"),
 		subsumed: opt.Obs.Counter("mine.subsumption_pruned"),
+		ss:       newSearchSpace(opt.Obs),
 	}
 	if err := m.g.CheckNow(); err != nil {
 		return nil, err
@@ -70,6 +71,7 @@ type closeMiner struct {
 	nodes    *obs.Counter
 	emitted  *obs.Counter
 	subsumed *obs.Counter
+	ss       searchSpace
 }
 
 // isSubsumed reports whether items (with the given support) is a subset
@@ -88,6 +90,7 @@ func (m *closeMiner) isSubsumed(items []int32, support int) bool {
 // already established non-subsumption.
 func (m *closeMiner) emit(items []int32, support int) error {
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
+		m.ss.budget.inc(len(items))
 		return ErrPatternBudget
 	}
 	if err := m.g.Check(); err != nil {
@@ -98,6 +101,7 @@ func (m *closeMiner) emit(items []int32, support int) error {
 	m.out = append(m.out, Pattern{Items: sorted, Support: support})
 	m.index[support] = append(m.index[support], maskOf(sorted, m.numItems))
 	m.emitted.Inc()
+	m.ss.emitted.inc(len(sorted))
 	return nil
 }
 
@@ -136,6 +140,7 @@ func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
 			}
 		}
 
+		m.ss.candidates.inc(len(candidate))
 		if m.opt.MaxLen > 0 && len(candidate) > m.opt.MaxLen {
 			continue
 		}
@@ -143,6 +148,7 @@ func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
 			// Everything below this candidate closes into patterns
 			// already discovered from the subsuming branch.
 			m.subsumed.Inc()
+			m.ss.subsumed.inc(len(candidate))
 			continue
 		}
 		if err := m.emit(candidate, support); err != nil {
@@ -182,6 +188,7 @@ func (m *closeMiner) minePath(path []*fpNode, prefix []int32) error {
 			continue
 		}
 		candidate := append(append([]int32(nil), prefix...), pathItems(path[:j+1])...)
+		m.ss.candidates.inc(len(candidate))
 		if m.opt.MaxLen > 0 && len(candidate) > m.opt.MaxLen {
 			// Longer prefixes only grow; stop.
 			break
@@ -189,6 +196,7 @@ func (m *closeMiner) minePath(path []*fpNode, prefix []int32) error {
 		support := path[j].count
 		if m.isSubsumed(candidate, support) {
 			m.subsumed.Inc()
+			m.ss.subsumed.inc(len(candidate))
 			continue
 		}
 		if err := m.emit(candidate, support); err != nil {

@@ -25,6 +25,7 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 		g:       opt.guard(),
 		nodes:   opt.Obs.Counter("mine.fptree_nodes"),
 		emitted: opt.Obs.Counter("mine.patterns_emitted"),
+		ss:      newSearchSpace(opt.Obs),
 	}
 	if err := m.g.CheckNow(); err != nil {
 		return nil, err
@@ -42,12 +43,17 @@ type growthMiner struct {
 
 	nodes   *obs.Counter
 	emitted *obs.Counter
+	ss      searchSpace
 }
 
 // emit records one pattern; prefix is in discovery order and gets
-// sorted into canonical ascending-item order on copy.
+// sorted into canonical ascending-item order on copy. Every call is
+// one candidate considered; FP-Growth only materializes frequent
+// extensions, so the candidate either trips the budget or is emitted.
 func (m *growthMiner) emit(prefix []int32, support int) error {
+	m.ss.candidates.inc(len(prefix))
 	if m.opt.MaxPatterns > 0 && len(m.out) >= m.opt.MaxPatterns {
+		m.ss.budget.inc(len(prefix))
 		return ErrPatternBudget
 	}
 	if err := m.g.Check(); err != nil {
@@ -57,6 +63,7 @@ func (m *growthMiner) emit(prefix []int32, support int) error {
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	m.out = append(m.out, Pattern{Items: items, Support: support})
 	m.emitted.Inc()
+	m.ss.emitted.inc(len(items))
 	return nil
 }
 

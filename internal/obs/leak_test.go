@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestSpanLeakCounterAndWarning checks that popping an unclosed child
+// increments obs.span_leak and names the leaked span in a WARN record
+// when a logger is attached.
+func TestSpanLeakCounterAndWarning(t *testing.T) {
+	o := New()
+	var buf bytes.Buffer
+	o.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	outer := o.Start("outer")
+	//vet:ignore spanend this test deliberately leaks a span to exercise the leak counter
+	o.Start("leaked") // never ended
+	outer.End()
+
+	r := o.Report("leaks")
+	if got := r.Counters["obs.span_leak"]; got != 1 {
+		t.Fatalf("obs.span_leak = %d, want 1", got)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "span leak") {
+		t.Fatalf("no span-leak warning logged: %q", logged)
+	}
+	if !strings.Contains(logged, "leaked") {
+		t.Fatalf("warning does not name the leaked span: %q", logged)
+	}
+	if !strings.Contains(logged, "outer") {
+		t.Fatalf("warning does not name the parent: %q", logged)
+	}
+}
+
+// TestSpanLeakSilentWithoutLogger: the counter still counts when no
+// logger is attached, and nothing panics.
+func TestSpanLeakSilentWithoutLogger(t *testing.T) {
+	o := New()
+	outer := o.Start("outer")
+	//vet:ignore spanend deliberate leak under test
+	o.Start("leaked-quietly")
+	outer.End()
+	if got := o.Report("quiet").Counters["obs.span_leak"]; got != 1 {
+		t.Fatalf("obs.span_leak = %d, want 1", got)
+	}
+}

@@ -20,6 +20,7 @@ package obs
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -51,6 +52,10 @@ type Observer struct {
 	// root points at the observer owning the top-level span list (nil on
 	// the root itself); forks of forks chain back to one root.
 	root *Observer
+
+	// log, when non-nil, receives the observer's own diagnostics
+	// (span-leak warnings). Set with SetLogger; forks inherit it.
+	log *slog.Logger
 
 	reg *registry
 }
@@ -90,7 +95,7 @@ func (o *Observer) Fork() *Observer {
 	if o == nil {
 		return nil
 	}
-	f := &Observer{started: o.started, reg: o.reg, root: o.root}
+	f := &Observer{started: o.started, reg: o.reg, root: o.root, log: o.logger()}
 	if f.root == nil {
 		f.root = o
 	}
@@ -106,6 +111,30 @@ func (o *Observer) Fork() *Observer {
 
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
+
+// SetLogger attaches a logger for the observer's own diagnostics —
+// today that is the span-leak warning End emits when it pops unclosed
+// children. Forks made after the call inherit the logger; a nil logger
+// silences the diagnostics again (the obs.span_leak counter still
+// counts them).
+func (o *Observer) SetLogger(l *slog.Logger) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.log = l
+	o.mu.Unlock()
+}
+
+// logger returns the attached diagnostics logger (nil when unset).
+func (o *Observer) logger() *slog.Logger {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.log
+}
 
 // Reset discards all recorded spans, counters, and gauges. Existing
 // forks keep recording into the (now cleared) shared registry, but
@@ -214,6 +243,12 @@ func (s *Span) Attr(key string, value any) *Span {
 // histograms (stage.<name>.duration_ns / stage.<name>.alloc_bytes), so
 // /metrics scrapes see live per-stage distributions while a run is
 // still in flight. Ending a span twice keeps the first measurement.
+//
+// Popping an unclosed child is an instrumentation bug in the caller (a
+// Start without a dominating End): each such span increments the
+// obs.span_leak counter and, when the observer has a logger, is named
+// in a WARN record — leaks stay visible instead of silently vanishing
+// from the stack.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -235,14 +270,27 @@ func (s *Span) End() {
 		s.o.Histogram("stage." + s.name + ".alloc_bytes").Observe(int64(alloc))
 	}
 	o := s.o
+	var leaked []string
 	o.mu.Lock()
+	log := o.log
 	for i := len(o.stack) - 1; i >= 0; i-- {
 		if o.stack[i] == s {
+			for _, c := range o.stack[i+1:] {
+				leaked = append(leaked, c.name)
+			}
 			o.stack = o.stack[:i]
 			break
 		}
 	}
 	o.mu.Unlock()
+	if len(leaked) > 0 {
+		o.Counter("obs.span_leak").Add(int64(len(leaked)))
+		if log != nil {
+			log.Warn("obs: span leak: parent ended before children",
+				slog.String("parent", s.name),
+				slog.Any("leaked_spans", leaked))
+		}
+	}
 }
 
 // Wall returns the span's recorded wall time (zero before End).

@@ -10,9 +10,13 @@ import (
 	"time"
 )
 
-// SpanReport is the serializable form of one span.
+// SpanReport is the serializable form of one span. StartNS is the
+// span's start offset relative to the run's StartedAt — what the trace
+// exporter needs to lay spans on a timeline (forked observers copy the
+// root's start time, so offsets are comparable across workers).
 type SpanReport struct {
 	Name       string        `json:"name"`
+	StartNS    int64         `json:"start_ns,omitempty"`
 	WallNS     int64         `json:"wall_ns"`
 	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
 	Attrs      []Attr        `json:"attrs,omitempty"`
@@ -34,6 +38,11 @@ type RunReport struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Audits carries named decision-audit tables (e.g. the MMRFS
+	// selection trail) that callers attach after Report and before
+	// serialization; the observer itself never populates it. Values
+	// must be JSON-serializable.
+	Audits map[string]any `json:"audits,omitempty"`
 }
 
 // Report snapshots the observer into a RunReport named name. Open spans
@@ -56,22 +65,23 @@ func (o *Observer) Report(name string) *RunReport {
 		Histograms: o.histogramValues(),
 	}
 	for _, s := range spans {
-		r.Spans = append(r.Spans, s.report())
+		r.Spans = append(r.Spans, s.report(started))
 	}
 	return r
 }
 
-func (s *Span) report() *SpanReport {
+func (s *Span) report(started time.Time) *SpanReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sr := &SpanReport{
 		Name:       s.name,
+		StartNS:    s.start.Sub(started).Nanoseconds(),
 		WallNS:     int64(s.wall),
 		AllocBytes: s.alloc,
 		Attrs:      append([]Attr(nil), s.attrs...),
 	}
 	for _, c := range s.children {
-		sr.Children = append(sr.Children, c.report())
+		sr.Children = append(sr.Children, c.report(started))
 	}
 	return sr
 }

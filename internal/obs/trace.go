@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: a RunReport's span tree serialized in the
+// Trace Event Format "JSON Object Format" — {"traceEvents": [...]} —
+// which loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Every span becomes one complete event (ph "X");
+// metadata events (ph "M") name the process and lanes.
+//
+// Spans from forked observers overlap in time (concurrent CV folds,
+// per-class mining), and the trace format infers nesting from time
+// containment within one (pid, tid) lane — so overlapping siblings must
+// land on distinct tids or the viewer draws a corrupted flame graph.
+// WriteTrace assigns lanes deterministically: children are laid out in
+// start order, the first child that fits after the previous occupant
+// reuses a lane already owned by its sibling group (the parent's lane
+// first), and an overlapping sibling gets a globally fresh lane. The
+// same report always serializes to the same bytes.
+
+// TraceEvent is one Trace Event Format record. Exported so tests (and
+// external tooling) can decode exporter output without re-declaring the
+// schema.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceDoc is the trace_event JSON Object Format envelope.
+type TraceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// tracePID is the single process id used for all events; dfpc runs are
+// one process, lanes distinguish concurrency.
+const tracePID = 1
+
+// WriteTrace serializes the report's span tree as Chrome trace_event
+// JSON. The output is deterministic for a given report.
+func (r *RunReport) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return errors.New("obs: write trace: nil report")
+	}
+	doc := r.TraceEvents()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// TraceEvents builds the trace document: process/thread metadata
+// followed by one complete event per span, in deterministic traversal
+// order.
+func (r *RunReport) TraceEvents() *TraceDoc {
+	if r == nil {
+		return &TraceDoc{TraceEvents: []TraceEvent{}}
+	}
+	var spans []TraceEvent
+	used := map[int]bool{}
+	nextLane := 0
+	layoutSpans(r.Spans, 0, &nextLane, &spans, used)
+
+	name := r.Name
+	if name == "" {
+		name = "dfpc"
+	}
+	events := []TraceEvent{{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]string{"name": name},
+	}}
+	lanes := make([]int, 0, len(used))
+	for t := range used {
+		lanes = append(lanes, t)
+	}
+	sort.Ints(lanes)
+	for _, t := range lanes {
+		laneName := "main"
+		if t != 0 {
+			laneName = "lane " + strconv.Itoa(t)
+		}
+		events = append(events, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: t,
+			Args: map[string]string{"name": laneName},
+		})
+	}
+	events = append(events, spans...)
+	return &TraceDoc{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// layoutSpans places one sibling group: each child reuses a lane the
+// group already owns when it starts at or after that lane's previous
+// occupant ended, and claims a globally fresh lane otherwise. Freshly
+// claimed lanes are never shared across groups, so two spans can share
+// a tid only when their intervals nest or are disjoint — exactly what
+// trace viewers require.
+func layoutSpans(group []*SpanReport, parentLane int, nextLane *int, out *[]TraceEvent, used map[int]bool) {
+	if len(group) == 0 {
+		return
+	}
+	order := make([]int, len(group))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return group[order[a]].StartNS < group[order[b]].StartNS
+	})
+	type occupant struct {
+		lane int
+		end  int64 // ns offset at which the lane frees up
+	}
+	lanes := []occupant{{lane: parentLane, end: math.MinInt64}}
+	for _, idx := range order {
+		s := group[idx]
+		start := s.StartNS
+		if start < 0 {
+			start = 0
+		}
+		placed := -1
+		for k := range lanes {
+			if start >= lanes[k].end {
+				placed = k
+				break
+			}
+		}
+		if placed < 0 {
+			*nextLane++
+			lanes = append(lanes, occupant{lane: *nextLane, end: math.MinInt64})
+			placed = len(lanes) - 1
+		}
+		lanes[placed].end = start + s.WallNS
+		lane := lanes[placed].lane
+		used[lane] = true
+		ev := TraceEvent{
+			Name: s.Name, Cat: "stage", Ph: "X",
+			TS:  float64(start) / 1e3,
+			Dur: float64(s.WallNS) / 1e3,
+			PID: tracePID, TID: lane,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		*out = append(*out, ev)
+		layoutSpans(s.Children, lane, nextLane, out, used)
+	}
+}

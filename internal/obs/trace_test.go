@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticReport builds a RunReport by hand so lane assignment is
+// exercised without sleeps: a fit parent whose two mine children
+// overlap in time (they must land on distinct lanes) and a later
+// select child that can reuse a lane.
+func syntheticReport() *RunReport {
+	return &RunReport{
+		Name:      "fit-run",
+		StartedAt: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		WallNS:    120_000,
+		Spans: []*SpanReport{{
+			Name:    "fit",
+			StartNS: 0,
+			WallNS:  100_000,
+			Attrs:   []Attr{{Key: "rows", Value: "242"}},
+			Children: []*SpanReport{
+				{Name: "mine-a", StartNS: 1_000, WallNS: 40_000},
+				{Name: "mine-b", StartNS: 2_000, WallNS: 40_000},
+				{Name: "select", StartNS: 50_000, WallNS: 10_000},
+			},
+		}},
+	}
+}
+
+func TestTraceEventsSchema(t *testing.T) {
+	doc := syntheticReport().TraceEvents()
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	first := doc.TraceEvents[0]
+	if first.Ph != "M" || first.Name != "process_name" || first.Args["name"] != "fit-run" {
+		t.Fatalf("first event is not the process_name metadata record: %+v", first)
+	}
+	byName := map[string]TraceEvent{}
+	var sawThreadMeta bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Fatalf("event %q has ph %q, want X or M", ev.Name, ev.Ph)
+		}
+		if ev.PID != tracePID {
+			t.Fatalf("event %q has pid %d, want %d", ev.Name, ev.PID, tracePID)
+		}
+		if ev.Ph == "X" {
+			byName[ev.Name] = ev
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			sawThreadMeta = true
+		}
+	}
+	if !sawThreadMeta {
+		t.Fatal("no thread_name metadata events")
+	}
+	if len(byName) != 4 {
+		t.Fatalf("got %d complete events, want 4: %v", len(byName), byName)
+	}
+
+	// Timestamps and durations are microseconds.
+	fit := byName["fit"]
+	if fit.TS != 0 || fit.Dur != 100 {
+		t.Fatalf("fit ts/dur = %v/%v, want 0/100", fit.TS, fit.Dur)
+	}
+	if fit.Args["rows"] != "242" {
+		t.Fatalf("fit args = %v, want rows=242", fit.Args)
+	}
+
+	// The overlapping mine children must not share a lane; the earlier
+	// one nests under the parent's lane.
+	a, b, sel := byName["mine-a"], byName["mine-b"], byName["select"]
+	if a.TID == b.TID {
+		t.Fatalf("overlapping siblings share tid %d", a.TID)
+	}
+	if a.TID != fit.TID {
+		t.Fatalf("first child on tid %d, want parent lane %d", a.TID, fit.TID)
+	}
+	// select starts after mine-a ends, so it reuses the parent lane.
+	if sel.TID != fit.TID {
+		t.Fatalf("select on tid %d, want reused lane %d", sel.TID, fit.TID)
+	}
+
+	// Same-tid intervals must be nested or disjoint — the trace-viewer
+	// invariant the lane allocator exists to uphold.
+	type iv struct {
+		name     string
+		lo, hi   float64
+		tid      int
+		hasSpans bool
+	}
+	var ivs []iv
+	for _, ev := range byName {
+		ivs = append(ivs, iv{ev.Name, ev.TS, ev.TS + ev.Dur, ev.TID, true})
+	}
+	for i := range ivs {
+		for j := range ivs {
+			if i == j || ivs[i].tid != ivs[j].tid {
+				continue
+			}
+			x, y := ivs[i], ivs[j]
+			disjoint := x.hi <= y.lo || y.hi <= x.lo
+			nested := (x.lo >= y.lo && x.hi <= y.hi) || (y.lo >= x.lo && y.hi <= x.hi)
+			if !disjoint && !nested {
+				t.Fatalf("spans %s and %s partially overlap on tid %d", x.name, y.name, x.tid)
+			}
+		}
+	}
+}
+
+func TestWriteTraceDeterministicAndDecodable(t *testing.T) {
+	r := syntheticReport()
+	var b1, b2 bytes.Buffer
+	if err := r.WriteTrace(&b1); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if err := r.WriteTrace(&b2); err != nil {
+		t.Fatalf("WriteTrace again: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("trace serialization is not deterministic")
+	}
+	if !strings.Contains(b1.String(), `"traceEvents"`) {
+		t.Fatal("output missing traceEvents envelope key")
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid trace_event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(r.TraceEvents().TraceEvents) {
+		t.Fatal("round-trip lost events")
+	}
+}
+
+func TestWriteTraceFromLiveObserver(t *testing.T) {
+	o := New()
+	sp := o.Start("fit")
+	o.Start("mine").End()
+	sp.End()
+	var buf bytes.Buffer
+	if err := o.Report("live").WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["fit"] || !names["mine"] {
+		t.Fatalf("missing live spans in trace: %v", names)
+	}
+}
+
+func TestWriteTraceNegativeStartClamped(t *testing.T) {
+	r := &RunReport{Spans: []*SpanReport{{Name: "early", StartNS: -500, WallNS: 1000}}}
+	doc := r.TraceEvents()
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.TS < 0 {
+			t.Fatalf("negative timestamp survived: %+v", ev)
+		}
+	}
+}
+
+func TestWriteTraceNilReport(t *testing.T) {
+	var r *RunReport
+	if err := r.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil report must refuse to serialize")
+	}
+	doc := r.TraceEvents()
+	if doc == nil || len(doc.TraceEvents) != 0 {
+		t.Fatal("nil report must yield an empty document")
+	}
+}

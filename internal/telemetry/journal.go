@@ -60,6 +60,9 @@ type Record struct {
 	// Warnings lists the run's degradations (min_sup escalations,
 	// non-converged SMO solves, failed folds).
 	Warnings []string `json:"warnings,omitempty"`
+	// Audits carries named decision-audit tables (e.g. "mmrfs" → the
+	// per-iteration selection trail). Values must marshal to JSON.
+	Audits map[string]any `json:"audits,omitempty"`
 }
 
 // StageStat is the per-stage aggregate of a run's spans: how many

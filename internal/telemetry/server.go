@@ -9,6 +9,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +35,8 @@ type ServerConfig struct {
 //	/metrics        Prometheus text exposition of the obs registries
 //	/healthz        liveness probe
 //	/runs           JSON ring buffer of recent RunReports
+//	/trace/{run}    Chrome trace_event JSON of one buffered run
+//	                ({run} = index into /runs, or "latest")
 //	/debug/pprof/*  standard net/http/pprof handlers
 //
 // Construct with NewServer, then Start. A nil *Server is valid and
@@ -52,6 +56,7 @@ func NewServer(cfg ServerConfig) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -135,6 +140,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleTrace serves one buffered RunReport as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The path
+// suffix selects the run: an index into the /runs listing (oldest
+// first) or "latest" for the newest.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	runs := s.cfg.Runs.Snapshot()
+	if len(runs) == 0 {
+		http.Error(w, "no buffered runs", http.StatusNotFound)
+		return
+	}
+	sel := strings.TrimPrefix(r.URL.Path, "/trace/")
+	idx := len(runs) - 1
+	if sel != "" && sel != "latest" {
+		n, err := strconv.Atoi(sel)
+		if err != nil || n < 0 || n >= len(runs) {
+			http.Error(w, fmt.Sprintf("no such run %q (have %d)", sel, len(runs)), http.StatusNotFound)
+			return
+		}
+		idx = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := runs[idx].WriteTrace(w); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Warn("trace encode failed", slog.String("err", err.Error()))
+	}
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
