@@ -25,6 +25,8 @@ import (
 	"dfpc"
 	"dfpc/internal/dataset"
 	"dfpc/internal/discretize"
+	"dfpc/internal/durable"
+	"dfpc/internal/faults"
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
 	"dfpc/internal/obs"
@@ -51,6 +53,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock bound for the mining run (0 = unbounded)")
 		onBudget = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 		workers  = flag.Int("workers", 1, "worker goroutines for per-class mining (0 = all CPUs; the mined union is identical at any count)")
+
+		checkpointTo = flag.String("checkpoint", "", "write per-class partition checkpoints to this directory (replaying any valid ones already there)")
+		faultSpec    = flag.String("faults", "", "deterministic fault-injection spec: point:nth[:kind],... (testing aid)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault arms")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -93,6 +99,20 @@ func main() {
 	defer ses.Close()
 	o.SetLogger(ses.Log) // surface span-leak warnings
 
+	var fr *faults.Registry
+	if *faultSpec != "" {
+		fr = faults.New(*faultSeed)
+		if err := fr.Parse(*faultSpec); err != nil {
+			fail(err)
+		}
+	}
+	ses.SetFaults(fr)
+
+	// First SIGINT/SIGTERM cancels mining gracefully (checkpoints and
+	// journal intact); a second hard-exits with 130.
+	ctx, stopSignals := telemetry.HandleSignals(ctx, ses.Log)
+	defer stopSignals()
+
 	sp := o.Start("load")
 	d, err := load(*dataPath, *arffPath, *lucsPath, *bundled, *seed)
 	sp.End()
@@ -125,6 +145,19 @@ func main() {
 		Obs:         o,
 		Log:         obs.StageLogger(ses.Log, "mine"),
 		Workers:     parallel.Workers(*workers),
+		Faults:      fr,
+	}
+	if *checkpointTo != "" {
+		// The key binds partition checkpoints to everything that shapes
+		// the per-class pattern streams (worker count excluded: the
+		// mined union is identical at any count).
+		key := fmt.Sprintf("dfpc-mine|%s|%d|%v|%v|%d|%d", d.Name, b.NumRows(),
+			*minSup, *closed, *maxLen, mopt.MaxPatterns)
+		ck, err := mining.NewFileCheckpoint(*checkpointTo, key, fr)
+		if err != nil {
+			fail(err)
+		}
+		mopt.Checkpoint = ck
 	}
 	var ps []mining.Pattern
 	var degs []mining.Degradation
@@ -140,6 +173,11 @@ func main() {
 	}
 	sp.Attr("patterns", len(ps)).End()
 	if err != nil {
+		if mopt.Checkpoint != nil {
+			fmt.Fprintf(os.Stderr,
+				"dfpc-mine: completed partitions checkpointed in %s; rerun with the same -checkpoint to resume\n",
+				*checkpointTo)
+		}
 		fail(err)
 	}
 
@@ -204,29 +242,13 @@ func main() {
 			rep.WriteTree(os.Stderr)
 		}
 		if *reportTo != "" {
-			f, err := os.Create(*reportTo)
-			if err != nil {
-				fail(err)
-			}
-			if err := rep.WriteJSON(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteAtomic(*reportTo, fr, rep.WriteJSON); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
 		}
 		if *traceTo != "" {
-			f, err := os.Create(*traceTo)
-			if err != nil {
-				fail(err)
-			}
-			if err := rep.WriteTrace(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteAtomic(*traceTo, fr, rep.WriteTrace); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("trace written", "path", *traceTo)

@@ -19,11 +19,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"dfpc"
+	"dfpc/internal/durable"
+	"dfpc/internal/eval"
+	"dfpc/internal/faults"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
@@ -56,6 +60,11 @@ func main() {
 		onBudget     = flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 		contOnError  = flag.Bool("continue-on-error", false, "isolate failing CV folds and report statistics over the completed ones")
 		workers      = flag.Int("workers", 1, "worker goroutines for CV folds, mining, MMRFS, and SVM (0 = all CPUs; results are identical at any count)")
+
+		checkpointTo = flag.String("checkpoint", "", "write per-fold checkpoints to this directory (replaying any valid ones already there)")
+		resumeFrom   = flag.String("resume", "", "resume an interrupted run from this checkpoint directory (alias of -checkpoint)")
+		faultSpec    = flag.String("faults", "", "deterministic fault-injection spec: point:nth[:kind],... (testing aid)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault arms")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -146,6 +155,15 @@ func main() {
 
 	clf := dfpc.NewClassifier(fam, lrn, opts...)
 
+	var fr *faults.Registry
+	if *faultSpec != "" {
+		fr = faults.New(*faultSeed)
+		if err := fr.Parse(*faultSpec); err != nil {
+			fail(err)
+		}
+		clf.SetFaults(fr)
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -164,14 +182,63 @@ func main() {
 	defer ses.Close()
 	clf.SetLogger(ses.Log)
 	o.SetLogger(ses.Log) // surface span-leak warnings
+	ses.SetFaults(fr)
+
+	// First SIGINT/SIGTERM cancels the run (partial stats, flushed
+	// journal, checkpoints intact); a second hard-exits with 130.
+	ctx, stopSignals := telemetry.HandleSignals(ctx, ses.Log)
+	defer stopSignals()
+
+	ckDir := *checkpointTo
+	if *resumeFrom != "" {
+		if ckDir != "" && ckDir != *resumeFrom {
+			fail(fmt.Errorf("-checkpoint %q and -resume %q disagree; pass one directory", ckDir, *resumeFrom))
+		}
+		ckDir = *resumeFrom
+	}
+	var ck *eval.Checkpointer
+	if ckDir != "" {
+		// The key binds checkpoints to everything that determines fold
+		// outcomes; worker count is deliberately absent (results are
+		// identical at any count), so runs may resume at a different one.
+		key := eval.CVKey("dfpc-cv", d.Name, d.NumRows(), *folds, *seed,
+			fam.String(), lrn.String(), *minSup, *ig0, *coverage,
+			*svmC, *gamma, *useFisher, strings.ToLower(*onBudget), *stageTimeout)
+		ck, err = eval.NewCheckpointer(ckDir, key, fr)
+		if err != nil {
+			fail(err)
+		}
+		if done := ck.CompletedFolds(*folds); len(done) > 0 {
+			ses.Log.Info("resuming from checkpoints",
+				"dir", ckDir, "completed_folds", len(done), "total_folds", *folds)
+		}
+	}
 
 	res, err := dfpc.CrossValidateContext(ctx, clf, d, *folds, *seed, dfpc.CVOptions{
 		Obs:             o,
 		Log:             ses.Log,
 		ContinueOnError: *contOnError,
 		Workers:         parallel.Workers(*workers),
+		Faults:          fr,
+		Checkpoint:      ck,
 	})
 	if err != nil {
+		// An aborted run still carries the statistics of the folds that
+		// finished; surface them (and the resume hint) before failing.
+		if res != nil && res.Completed > 0 {
+			fmt.Printf("interrupted: %d/%d folds completed, partial accuracy %.2f%% ± %.2f\n",
+				res.Completed, *folds, 100*res.Mean, 100*res.Std)
+			if ck != nil {
+				fmt.Printf("checkpoints in %s; rerun with -resume %s to continue\n", ck.Dir(), ck.Dir())
+			}
+			ses.Journal(telemetry.Record{
+				Kind:     "cv",
+				Dataset:  d.Name,
+				Folds:    res.Completed,
+				Accuracy: res.Mean, AccuracyStd: res.Std,
+				Warnings: []string{"interrupted: " + err.Error()},
+			})
+		}
 		switch {
 		case ctx.Err() != nil && errors.Is(err, dfpc.ErrDeadline):
 			fail("run exceeded -timeout:", err)
@@ -226,21 +293,13 @@ func main() {
 			rep.WriteTree(os.Stderr)
 		}
 		if *reportTo != "" {
-			f, err := os.Create(*reportTo)
-			if err != nil {
-				fail(err)
-			}
-			if err := rep.WriteJSON(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteAtomic(*reportTo, fr, rep.WriteJSON); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
 		}
 		if *traceTo != "" {
-			if err := writeTrace(rep, *traceTo); err != nil {
+			if err := durable.WriteAtomic(*traceTo, fr, rep.WriteTrace); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("trace written", "path", *traceTo)
@@ -277,12 +336,9 @@ func main() {
 		if err := clf.Fit(d, rows); err != nil {
 			fail("final fit:", err)
 		}
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := dfpc.SaveModel(f, clf); err != nil {
+		if err := durable.WriteAtomic(*saveTo, fr, func(w io.Writer) error {
+			return dfpc.SaveModel(w, clf)
+		}); err != nil {
 			fail(err)
 		}
 		fmt.Printf("model saved to %s\n", *saveTo)
@@ -342,19 +398,6 @@ func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 	fmt.Fprintf(os.Stderr, "accuracy vs labels in file: %.2f%%\n",
 		100*float64(correct)/float64(len(pred)))
 	return nil
-}
-
-// writeTrace writes rep as Chrome trace_event JSON at path.
-func writeTrace(rep *dfpc.RunReport, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rep.WriteTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // printExplanation renders the top-n selected patterns of the last

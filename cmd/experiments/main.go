@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -28,7 +29,9 @@ import (
 	"dfpc"
 	"dfpc/internal/core"
 	"dfpc/internal/datagen"
+	"dfpc/internal/durable"
 	"dfpc/internal/experiments"
+	"dfpc/internal/faults"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
@@ -51,6 +54,8 @@ func main() {
 	onBudget := flag.String("on-budget", "fail", "pattern-budget policy: fail, or degrade (escalate min_sup and re-mine)")
 	contOnError := flag.Bool("continue-on-error", false, "isolate failing CV folds; table cells then cover the completed folds")
 	workers := flag.Int("workers", 1, "worker goroutines for CV folds, mining, MMRFS, and SVM (0 = all CPUs; results are identical at any count)")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec: point:nth[:kind],... (testing aid)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault arms")
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	var tf telemetry.Flags
@@ -108,6 +113,20 @@ func main() {
 	cfg.log = ses.Log
 	cfg.obs.SetLogger(ses.Log) // surface span-leak warnings
 
+	if *faultSpec != "" {
+		cfg.faults = faults.New(*faultSeed)
+		if err := cfg.faults.Parse(*faultSpec); err != nil {
+			fail(err)
+		}
+	}
+	ses.SetFaults(cfg.faults)
+
+	// First SIGINT/SIGTERM cancels the campaign gracefully (journal and
+	// completed CSVs intact); a second hard-exits with 130.
+	var stopSignals context.CancelFunc
+	cfg.ctx, stopSignals = telemetry.HandleSignals(cfg.ctx, ses.Log)
+	defer stopSignals()
+
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, ses, cfg.workers); err != nil {
 			fail(err)
@@ -156,29 +175,13 @@ func main() {
 			rep.WriteTree(os.Stderr)
 		}
 		if *reportTo != "" {
-			f, err := os.Create(*reportTo)
-			if err != nil {
-				fail(err)
-			}
-			if err := rep.WriteJSON(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteAtomic(*reportTo, cfg.faults, rep.WriteJSON); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("run report written", "path", *reportTo)
 		}
 		if *traceTo != "" {
-			f, err := os.Create(*traceTo)
-			if err != nil {
-				fail(err)
-			}
-			if err := rep.WriteTrace(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteAtomic(*traceTo, cfg.faults, rep.WriteTrace); err != nil {
 				fail(err)
 			}
 			ses.Log.Info("trace written", "path", *traceTo)
@@ -222,6 +225,7 @@ type runConfig struct {
 	onBudget     core.BudgetPolicy
 	contOnError  bool
 	workers      parallel.Workers
+	faults       *faults.Registry
 }
 
 // protocol builds the experiments.Protocol carrying the run's
@@ -287,34 +291,24 @@ func runBenchJSON(path string, ses *telemetry.Session, workers parallel.Workers)
 		fmt.Printf("%-10s accuracy %.2f%% ± %.2f  wall %v\n",
 			name, 100*res.Mean, 100*res.Std, time.Duration(rep.WallNS).Round(time.Millisecond))
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := durable.WriteAtomic(path, nil, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("per-stage benchmark written to %s\n", path)
 	return nil
 }
 
-// emitCSV writes one result file when -csv is set.
-func (c runConfig) emitCSV(name string, write func(w *os.File) error) error {
+// emitCSV atomically writes one result file when -csv is set, so an
+// interrupted campaign never leaves a torn CSV over a complete one.
+func (c runConfig) emitCSV(name string, write func(w io.Writer) error) error {
 	if c.csvDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(c.csvDir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return write(f)
+	return durable.WriteAtomic(filepath.Join(c.csvDir, name), c.faults, write)
 }
 
 func runAll(cfg runConfig) error {
@@ -344,7 +338,7 @@ func runTable(cfg runConfig, table string) error {
 			return err
 		}
 		experiments.WriteTable1(os.Stdout, rows)
-		if err := cfg.emitCSV("table1.csv", func(w *os.File) error { return experiments.Table1CSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("table1.csv", func(w io.Writer) error { return experiments.Table1CSV(w, rows) }); err != nil {
 			return err
 		}
 	case "2":
@@ -353,7 +347,7 @@ func runTable(cfg runConfig, table string) error {
 			return err
 		}
 		experiments.WriteTable2(os.Stdout, rows)
-		if err := cfg.emitCSV("table2.csv", func(w *os.File) error { return experiments.Table2CSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("table2.csv", func(w io.Writer) error { return experiments.Table2CSV(w, rows) }); err != nil {
 			return err
 		}
 	case "3", "4", "5":
@@ -364,7 +358,7 @@ func runTable(cfg runConfig, table string) error {
 			return err
 		}
 		experiments.WriteScalability(os.Stdout, scalabilityTitle(table), rows)
-		if err := cfg.emitCSV("table"+table+".csv", func(w *os.File) error { return experiments.ScalabilityCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("table"+table+".csv", func(w io.Writer) error { return experiments.ScalabilityCSV(w, rows) }); err != nil {
 			return err
 		}
 	case "harmony":
@@ -377,7 +371,7 @@ func runTable(cfg runConfig, table string) error {
 			return err
 		}
 		experiments.WriteHarmony(os.Stdout, rows)
-		if err := cfg.emitCSV("harmony.csv", func(w *os.File) error { return experiments.HarmonyCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("harmony.csv", func(w io.Writer) error { return experiments.HarmonyCSV(w, rows) }); err != nil {
 			return err
 		}
 	default:
@@ -442,7 +436,7 @@ func runFigure(cfg runConfig, figure string) error {
 			return err
 		}
 		experiments.WriteFigure1(os.Stdout, rows)
-		if err := cfg.emitCSV("figure1.csv", func(w *os.File) error { return experiments.Figure1CSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("figure1.csv", func(w io.Writer) error { return experiments.Figure1CSV(w, rows) }); err != nil {
 			return err
 		}
 	case "2":
@@ -452,7 +446,7 @@ func runFigure(cfg runConfig, figure string) error {
 		}
 		experiments.WriteBoundFigure(os.Stdout,
 			"Figure 2. Information Gain and the Theoretical Upper Bound vs Support", "IG", rows)
-		if err := cfg.emitCSV("figure2.csv", func(w *os.File) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("figure2.csv", func(w io.Writer) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
 			return err
 		}
 	case "3":
@@ -462,7 +456,7 @@ func runFigure(cfg runConfig, figure string) error {
 		}
 		experiments.WriteBoundFigure(os.Stdout,
 			"Figure 3. Fisher Score and the Theoretical Upper Bound vs Support", "Fr", rows)
-		if err := cfg.emitCSV("figure3.csv", func(w *os.File) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("figure3.csv", func(w io.Writer) error { return experiments.BoundFigureCSV(w, rows) }); err != nil {
 			return err
 		}
 	case "minsup":
@@ -472,7 +466,7 @@ func runFigure(cfg runConfig, figure string) error {
 			return err
 		}
 		experiments.WriteMinSupSweep(os.Stdout, rows)
-		if err := cfg.emitCSV("minsup_sweep.csv", func(w *os.File) error { return experiments.MinSupSweepCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV("minsup_sweep.csv", func(w io.Writer) error { return experiments.MinSupSweepCSV(w, rows) }); err != nil {
 			return err
 		}
 	default:
@@ -521,7 +515,7 @@ func runAblations(cfg runConfig) error {
 			fmt.Println()
 		}
 		experiments.WriteAblation(os.Stdout, s.title, rows)
-		if err := cfg.emitCSV(s.file, func(w *os.File) error { return experiments.AblationCSV(w, rows) }); err != nil {
+		if err := cfg.emitCSV(s.file, func(w io.Writer) error { return experiments.AblationCSV(w, rows) }); err != nil {
 			return err
 		}
 	}

@@ -17,6 +17,7 @@ var All = []*Analyzer{
 	Mathrange,
 	Parasafe,
 	Spanend,
+	Atomicwrite,
 }
 
 // Lookup returns the registered analyzer with the given name.

@@ -1,0 +1,27 @@
+// Positive fixtures: in-place artifact writes that a crash can tear.
+package writer
+
+import "os"
+
+func saveReport(path string, data []byte) error {
+	f, err := os.Create(path) // want "os.Create writes the destination in place"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func dumpBytes(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile writes the destination in place"
+}
+
+func aliasedCall(path string) {
+	(os.Create)(path) // want "os.Create writes the destination in place"
+}
+
+func ignoredWithReason(path string, data []byte) error {
+	//vet:ignore atomicwrite scratch file on a path nothing else reads
+	return os.WriteFile(path, data, 0o600)
+}

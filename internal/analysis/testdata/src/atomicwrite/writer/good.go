@@ -1,0 +1,44 @@
+// Negative fixtures: reads, temp files, and append-only streams are
+// all crash-safe (or not artifact writes at all) and stay unflagged.
+package writer
+
+import "os"
+
+func readBack(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func openForRead(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+func tempThenRename(dir string) error {
+	// The durable package's own building block: a temp file never
+	// shadows a complete artifact.
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, dir+"/final")
+}
+
+func appendOnly(path string) (*os.File, error) {
+	// Append-only journals lose at most the in-flight line; they never
+	// truncate history.
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// create is not os.Create: same selector name on a different package
+// object stays unflagged.
+type fakeOS struct{}
+
+func (fakeOS) Create(string) error { return nil }
+
+func localCreate(path string) error {
+	var o fakeOS
+	return o.Create(path)
+}

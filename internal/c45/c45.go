@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// handle disables logging; the handle (not a bare *slog.Logger)
 	// keeps Config gob-encodable for model serialization.
 	Log obs.LogHandle
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the start of tree induction (point c45.build). Nil is free, and
+	// the type gob-encodes as nothing so Config stays serializable.
+	Faults *faults.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +98,9 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 		g: guard.New(cfg.Ctx, guard.Limits{Deadline: cfg.Deadline})}
 	if err := b.g.CheckNow(); err != nil {
 		return nil, err
+	}
+	if err := cfg.Faults.Hit(faults.C45Build); err != nil {
+		return nil, fmt.Errorf("c45: %w", err)
 	}
 	rows := make([]int, len(x))
 	for i := range rows {

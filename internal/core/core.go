@@ -17,6 +17,7 @@ import (
 	"dfpc/internal/c45"
 	"dfpc/internal/dataset"
 	"dfpc/internal/discretize"
+	"dfpc/internal/faults"
 	"dfpc/internal/featsel"
 	"dfpc/internal/guard"
 	"dfpc/internal/knn"
@@ -161,6 +162,12 @@ type Config struct {
 	// default — disables logging at zero cost. Loggers are never
 	// serialized with saved models (the handle gob-encodes as nothing).
 	Log obs.LogHandle
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the pipeline's stage boundaries and inside mining, selection, and
+	// learning (see internal/faults). Nil — the default — is free, and
+	// registries are never serialized with saved models (the type
+	// gob-encodes as nothing).
+	Faults *faults.Registry
 }
 
 // BudgetPolicy selects the response to mining's pattern-budget trip.
@@ -399,6 +406,9 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 	if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
 		return err
 	}
+	if err := p.cfg.Faults.Hit(faults.CoreFitStart); err != nil {
+		return fmt.Errorf("core: fit: %w", err)
+	}
 	o := p.cfg.Obs
 	o.Gauge("parallel.workers").Set(float64(p.cfg.Workers.Resolve()))
 	fit := o.Start("fit").Attr("rows", len(rows)).Attr("learner", p.cfg.Learner)
@@ -561,6 +571,11 @@ func (p *Pipeline) SetObserver(o *obs.Observer) { p.cfg.Obs = o }
 // instrumentation is off).
 func (p *Pipeline) Observer() *obs.Observer { return p.cfg.Obs }
 
+// SetFaults installs (or, with nil, removes) the fault-injection
+// registry consulted at this pipeline's stage boundaries. Equivalent
+// to configuring Config.Faults at construction time.
+func (p *Pipeline) SetFaults(r *faults.Registry) { p.cfg.Faults = r }
+
 // SetLogger installs (or, with nil, removes) the structured logger that
 // receives this pipeline's stage records and degradation warnings.
 // Equivalent to configuring Config.Log at construction time.
@@ -634,6 +649,9 @@ func (p *Pipeline) selectSVMC(ctx context.Context, d *dataset.Dataset, rows []in
 
 // selectItems runs MMRFS over the single items (Item_FS).
 func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
+	if err := p.cfg.Faults.Hit(faults.CoreSelect); err != nil {
+		return fmt.Errorf("core: select: %w", err)
+	}
 	o := p.cfg.Obs
 	sp := o.Start("select-items").Attr("items", b.NumItems())
 	defer sp.End()
@@ -649,6 +667,7 @@ func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 		Obs:       o,
 		Log:       obs.StageLogger(p.cfg.Log.Logger, "select-items"),
 		Workers:   p.cfg.Workers,
+		Faults:    p.cfg.Faults,
 	})
 	if err != nil {
 		return fmt.Errorf("core: item MMRFS: %w", err)
@@ -668,6 +687,9 @@ func (p *Pipeline) selectItems(ctx context.Context, b *dataset.Binary) error {
 // applies MMRFS. Under DegradeOnBudget a pattern-budget trip escalates
 // min_sup instead of failing; each escalation lands in Stats.Warnings.
 func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) error {
+	if err := p.cfg.Faults.Hit(faults.CoreMine); err != nil {
+		return fmt.Errorf("core: mine: %w", err)
+	}
 	o := p.cfg.Obs
 	sp := o.Start("mine")
 	rs := o.Start("resolve-minsup")
@@ -692,6 +714,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		Obs:         o,
 		Log:         obs.StageLogger(p.cfg.Log.Logger, "mine"),
 		Workers:     p.cfg.Workers,
+		Faults:      p.cfg.Faults,
 	}
 	var mined []mining.Pattern
 	if p.cfg.OnBudget == DegradeOnBudget {
@@ -739,6 +762,9 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		o.Counter("core.features_selected").Add(int64(len(mined)))
 		return nil
 	}
+	if err := p.cfg.Faults.Hit(faults.CoreSelect); err != nil {
+		return fmt.Errorf("core: select: %w", err)
+	}
 	sp = o.Start("select").Attr("candidates", len(mined))
 	cands := make([]featsel.Candidate, len(mined))
 	for i, pt := range mined {
@@ -752,6 +778,7 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 		Obs:       o,
 		Log:       obs.StageLogger(p.cfg.Log.Logger, "select"),
 		Workers:   p.cfg.Workers,
+		Faults:    p.cfg.Faults,
 	})
 	if err != nil {
 		sp.End()
@@ -841,6 +868,9 @@ func (p *Pipeline) PredictProb(d *dataset.Dataset, rows []int) ([][]float64, err
 
 // learn trains the configured learner on the transformed rows.
 func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses int) error {
+	if err := p.cfg.Faults.Hit(faults.CoreLearn); err != nil {
+		return fmt.Errorf("core: learn: %w", err)
+	}
 	numFeatures := p.numItems + len(p.patterns)
 	deadline := p.stageDeadline()
 	var (
@@ -854,6 +884,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 		tree.Log = obs.Log(obs.StageLogger(p.cfg.Log.Logger, "learn"))
 		tree.Ctx = ctx
 		tree.Deadline = deadline
+		tree.Faults = p.cfg.Faults
 		m, err = c45.Train(x, y, numClasses, tree)
 	case NaiveBayes:
 		m, err = nbayes.Train(x, y, numClasses, numFeatures, nbayes.Config{})
@@ -869,6 +900,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Obs:         p.cfg.Obs,
 			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
 			Workers:     p.cfg.Workers,
+			Faults:      p.cfg.Faults,
 		})
 	default:
 		m, err = svm.Train(x, y, numClasses, svm.Config{
@@ -879,6 +911,7 @@ func (p *Pipeline) learn(ctx context.Context, x [][]int32, y []int, numClasses i
 			Obs:         p.cfg.Obs,
 			Log:         obs.StageLogger(p.cfg.Log.Logger, "learn"),
 			Workers:     p.cfg.Workers,
+			Faults:      p.cfg.Faults,
 		})
 	}
 	if err != nil {
@@ -918,6 +951,9 @@ func (p *Pipeline) PredictContext(ctx context.Context, d *dataset.Dataset, rows 
 	g := guard.New(ctx, guard.Limits{Deadline: p.stageDeadline()})
 	if err := g.CheckNow(); err != nil {
 		return nil, err
+	}
+	if err := p.cfg.Faults.Hit(faults.CorePredict); err != nil {
+		return nil, fmt.Errorf("core: predict: %w", err)
 	}
 	sp := p.cfg.Obs.Start("predict").Attr("rows", len(rows))
 	defer sp.End()

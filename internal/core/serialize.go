@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
 	"dfpc/internal/c45"
 	"dfpc/internal/discretize"
+	"dfpc/internal/durable"
 	"dfpc/internal/knn"
 	"dfpc/internal/mining"
 	"dfpc/internal/nbayes"
@@ -32,10 +34,15 @@ type pipelineSnapshot struct {
 
 const snapshotVersion = 1
 
+// ModelKind is the durable-envelope kind string for saved pipelines.
+const ModelKind = "dfpc-model"
+
 // Save serializes a fitted pipeline so it can be reloaded with Load and
 // used for prediction without retraining. The fitted discretizer,
 // selected patterns, explanation report, and the trained model are all
-// preserved.
+// preserved. The gob snapshot is wrapped in a durable envelope
+// (magic + version + CRC32) so Load can reject torn or corrupt files
+// with a sentinel instead of feeding garbage to gob.
 func (p *Pipeline) Save(w io.Writer) error {
 	if p.model == nil {
 		return fmt.Errorf("core: Save before Fit")
@@ -50,12 +57,15 @@ func (p *Pipeline) Save(w io.Writer) error {
 		Stats:    p.Stats,
 		Learner:  p.cfg.Learner,
 	}
-	// Observers and loggers are per-process recorders, not model state
-	// (LogHandle additionally gob-encodes as nothing either way).
+	// Observers, loggers, and fault registries are per-process
+	// recorders, not model state (each additionally gob-encodes as
+	// nothing either way).
 	snap.Config.Obs = nil
 	snap.Config.Tree.Obs = nil
 	snap.Config.Log = obs.LogHandle{}
 	snap.Config.Tree.Log = obs.LogHandle{}
+	snap.Config.Faults = nil
+	snap.Config.Tree.Faults = nil
 	var err error
 	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
 		return err
@@ -68,20 +78,48 @@ func (p *Pipeline) Save(w io.Writer) error {
 	if snap.Model, err = m.MarshalBinary(); err != nil {
 		return err
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return err
+	}
+	return durable.Encode(w, ModelKind, snapshotVersion, payload.Bytes())
 }
 
 // Load restores a pipeline saved with Save. The returned pipeline can
 // Predict immediately; calling Fit retrains it as usual.
-func Load(r io.Reader) (*Pipeline, error) {
-	var snap pipelineSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+//
+// Load validates before it trusts: the durable envelope's magic,
+// length, and CRC32 must check out (otherwise durable.ErrCorruptArtifact),
+// the kind and schema version must match this build (otherwise
+// durable.ErrVersionMismatch), and only then are the payload bytes
+// handed to gob — whose own failures, being unreachable except through
+// corruption that collides the checksum, also wrap ErrCorruptArtifact.
+func Load(r io.Reader) (p *Pipeline, err error) {
+	// Gob decoding of hostile bytes can panic in pathological cases;
+	// fold that into the corruption sentinel rather than crashing a
+	// serving process.
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, fmt.Errorf("core: load: %w: decode panic: %v", durable.ErrCorruptArtifact, rec)
+		}
+	}()
+	ver, payload, err := durable.Decode(r, ModelKind)
+	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", snap.Version)
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("core: load: %w: snapshot version %d, this build reads %d",
+			durable.ErrVersionMismatch, ver, snapshotVersion)
 	}
-	p := &Pipeline{
+	var snap pipelineSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w: %v", durable.ErrCorruptArtifact, err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: load: %w: inner snapshot version %d",
+			durable.ErrVersionMismatch, snap.Version)
+	}
+	p = &Pipeline{
 		cfg:      snap.Config,
 		numItems: snap.NumItems,
 		patterns: snap.Patterns,
@@ -91,33 +129,24 @@ func Load(r io.Reader) (*Pipeline, error) {
 	}
 	p.disc = &discretize.Discretizer{}
 	if err := p.disc.UnmarshalBinary(snap.Disc); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load: %w: discretizer: %v", durable.ErrCorruptArtifact, err)
+	}
+	var m interface {
+		UnmarshalBinary([]byte) error
 	}
 	switch snap.Learner {
 	case C45Tree:
-		m := &c45.Model{}
-		if err := m.UnmarshalBinary(snap.Model); err != nil {
-			return nil, err
-		}
-		p.model = m
+		m = &c45.Model{}
 	case NaiveBayes:
-		m := &nbayes.Model{}
-		if err := m.UnmarshalBinary(snap.Model); err != nil {
-			return nil, err
-		}
-		p.model = m
+		m = &nbayes.Model{}
 	case KNN:
-		m := &knn.Model{}
-		if err := m.UnmarshalBinary(snap.Model); err != nil {
-			return nil, err
-		}
-		p.model = m
+		m = &knn.Model{}
 	default: // SVMLinear, SVMRBF
-		m := &svm.Model{}
-		if err := m.UnmarshalBinary(snap.Model); err != nil {
-			return nil, err
-		}
-		p.model = m
+		m = &svm.Model{}
 	}
+	if err := m.UnmarshalBinary(snap.Model); err != nil {
+		return nil, fmt.Errorf("core: load: %w: %T: %v", durable.ErrCorruptArtifact, m, err)
+	}
+	p.model = m.(predictor)
 	return p, nil
 }

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dfpc/internal/durable"
+	"dfpc/internal/faults"
+)
+
+// Fold checkpoints are single-envelope durable artifacts, one file per
+// completed fold, written atomically — a crash mid-checkpoint leaves
+// either no file or a fully valid one, and resume treats anything
+// invalid as "not checkpointed" and simply re-executes the fold.
+const (
+	foldKind    = "dfpc-cv-fold"
+	foldVersion = 1
+)
+
+// foldCheckpoint is the gob payload of one fold's outcome. Key binds
+// the checkpoint to the exact run configuration; a checkpoint written
+// under a different dataset/config/seed never replays.
+type foldCheckpoint struct {
+	Key       string
+	Fold      int // 0-based
+	Acc       float64
+	TrainNS   int64
+	TestNS    int64
+	ElapsedNS int64
+}
+
+// CVKey derives a checkpoint-compatibility key from the parts that
+// determine a CV run's outcomes: dataset identity, fold count, shuffle
+// seed, and the pipeline configuration. Worker count is deliberately
+// excluded — the determinism contract makes outcomes identical at any
+// count, so a run interrupted at -workers 8 may resume at -workers 1.
+func CVKey(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v|", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Checkpointer persists completed cross-validation folds under a
+// directory and replays them on resume. Safe for concurrent use: folds
+// write distinct files.
+type Checkpointer struct {
+	dir    string
+	key    string
+	faults *faults.Registry
+}
+
+// NewCheckpointer opens (creating if needed) a checkpoint directory
+// for a run identified by key (see CVKey). r may be nil.
+func NewCheckpointer(dir, key string, r *faults.Registry) (*Checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: checkpoint dir: %w", err)
+	}
+	return &Checkpointer{dir: dir, key: key, faults: r}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+func (c *Checkpointer) foldPath(f int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("fold-%04d.ckpt", f+1))
+}
+
+// LoadFold replays fold f's checkpointed outcome. Missing, torn,
+// corrupt, or key-mismatched checkpoints all return ok=false — resume
+// re-executes such folds rather than trusting them.
+func (c *Checkpointer) LoadFold(f int) (foldOutcome, bool) {
+	ver, payload, err := durable.LoadFile(c.foldPath(f), foldKind)
+	if err != nil || ver != foldVersion {
+		return foldOutcome{}, false
+	}
+	var fc foldCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&fc); err != nil {
+		return foldOutcome{}, false
+	}
+	if fc.Key != c.key || fc.Fold != f {
+		return foldOutcome{}, false
+	}
+	return foldOutcome{
+		ran:       true,
+		acc:       fc.Acc,
+		trainTime: time.Duration(fc.TrainNS),
+		testTime:  time.Duration(fc.TestNS),
+		elapsed:   time.Duration(fc.ElapsedNS),
+	}, true
+}
+
+// SaveFold atomically persists fold f's clean outcome.
+func (c *Checkpointer) SaveFold(f int, out foldOutcome) error {
+	if err := c.faults.Hit(faults.CheckpointWrite); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(foldCheckpoint{
+		Key:       c.key,
+		Fold:      f,
+		Acc:       out.acc,
+		TrainNS:   int64(out.trainTime),
+		TestNS:    int64(out.testTime),
+		ElapsedNS: int64(out.elapsed),
+	}); err != nil {
+		return err
+	}
+	return durable.SaveFile(c.foldPath(f), foldKind, foldVersion, payload.Bytes(), c.faults)
+}
+
+// CompletedFolds reports which fold checkpoints currently replay under
+// this run's key (for CLI resume summaries).
+func (c *Checkpointer) CompletedFolds(total int) []int {
+	var done []int
+	for f := 0; f < total; f++ {
+		if _, ok := c.LoadFold(f); ok {
+			done = append(done, f)
+		}
+	}
+	return done
+}

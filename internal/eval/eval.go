@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
@@ -164,6 +165,19 @@ type CVOptions struct {
 	// identical at any worker count. Progress and per-fold log records
 	// are emitted in fold order after all folds join.
 	Workers parallel.Workers
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the start of every fold (point eval.fold). An injected panic is
+	// recovered by the fold isolation machinery like any pipeline
+	// panic. Nil is free.
+	Faults *faults.Registry
+	// Checkpoint, when non-nil, persists each completed fold's outcome
+	// as a durable artifact and replays completed folds on a later run
+	// instead of re-fitting them. The final fold always re-executes so
+	// the pipeline's post-CV fitted state (stats, explanations) is live
+	// exactly as in an uninterrupted run; determinism of the pipeline
+	// guarantees the re-run reproduces the checkpointed accuracy.
+	// Failed folds are never checkpointed.
+	Checkpoint *Checkpointer
 }
 
 // CrossValidate runs stratified k-fold cross validation of the pipeline
@@ -193,7 +207,7 @@ type foldOutcome struct {
 
 // runFold executes one fold end to end, converting panics in the
 // pipeline into errors so a single bad fold cannot crash a CV sweep.
-func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []int) (out foldOutcome) {
+func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []int, fr *faults.Registry) (out foldOutcome) {
 	out.ran = true
 	defer func() {
 		if r := recover(); r != nil {
@@ -201,6 +215,10 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 			out.err = fmt.Errorf("recovered panic: %v", r)
 		}
 	}()
+	if err := fr.Hit(faults.EvalFold); err != nil {
+		out.err = err
+		return out
+	}
 	cp, _ := p.(ContextPipeline)
 	t0 := time.Now()
 	var err error
@@ -241,6 +259,12 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 // failures are isolated into CVResult.Failures and the remaining folds
 // still run; if no fold completes, the returned error satisfies
 // errors.Is(err, guard.ErrPartialResult).
+//
+// An aborting run (cancellation, or a fold failure without
+// ContinueOnError) returns its error together with a non-nil result
+// carrying the statistics of the folds that completed before the abort,
+// so callers can report partial progress — e.g. a CLI interrupted by
+// SIGINT. The error still marks the run as incomplete.
 func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k int, seed int64, opt CVOptions) (*CVResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -250,6 +274,38 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 		return nil, err
 	}
 	res := &CVResult{}
+	// fail finalizes the partial statistics before an abort so callers
+	// (e.g. a CLI handling Ctrl-C) can still report the folds that did
+	// complete; the non-nil error marks the run as aborted.
+	fail := func(err error) (*CVResult, error) {
+		res.Completed = len(res.FoldAccuracies)
+		res.Mean, res.Std = meanStd(res.FoldAccuracies)
+		return res, err
+	}
+	// restore replays a completed fold from the checkpoint directory.
+	// The final fold never restores: re-executing it leaves the
+	// pipeline's fitted state identical to an uninterrupted run, and
+	// the pipeline's determinism contract makes the re-run reproduce
+	// the checkpointed outcome exactly.
+	restore := func(f int) (foldOutcome, bool) {
+		if opt.Checkpoint == nil || f == len(folds)-1 {
+			return foldOutcome{}, false
+		}
+		return opt.Checkpoint.LoadFold(f)
+	}
+	// persist checkpoints a clean fold outcome; a checkpoint that
+	// cannot be written degrades the fold to failed rather than being
+	// silently dropped (a later resume would otherwise silently
+	// re-execute under a different schedule than the journal records).
+	persist := func(f int, out foldOutcome) foldOutcome {
+		if opt.Checkpoint == nil || out.err != nil {
+			return out
+		}
+		if err := opt.Checkpoint.SaveFold(f, out); err != nil {
+			out.err = fmt.Errorf("checkpoint fold %d: %w", f+1, err)
+		}
+		return out
+	}
 	// merge folds one outcome at a time, strictly in fold order, for
 	// both the sequential and the concurrent path — fold-order merging
 	// is what keeps FoldAccuracies, Mean/Std, the summed durations, and
@@ -313,6 +369,12 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 				outcomes[f] = foldOutcome{ran: true, err: err}
 				return err
 			}
+			if out, ok := restore(f); ok {
+				opt.Obs.Fork().Start("cv-fold").
+					Attr("fold", f+1).Attr("restored", true).End()
+				outcomes[f] = out
+				return nil
+			}
 			fp := p
 			if f != len(folds)-1 {
 				cl, ok := cloner.CloneForCV().(Pipeline)
@@ -331,8 +393,9 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 			sp := fo.Start("cv-fold").
 				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
 			foldStart := time.Now()
-			out := runFold(ctx, fp, d, train, test)
+			out := runFold(ctx, fp, d, train, test, opt.Faults)
 			out.elapsed = time.Since(foldStart)
+			out = persist(f, out)
 			if out.err != nil {
 				sp.Attr("error", out.err.Error()).End()
 			} else {
@@ -352,27 +415,36 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 				break // unreachable before an aborting merge below
 			}
 			if err := merge(f, outcomes[f]); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	} else {
 		for f := range folds {
 			if err := guard.New(ctx, guard.Limits{}).CheckNow(); err != nil {
-				return nil, err
+				return fail(err)
+			}
+			if out, ok := restore(f); ok {
+				opt.Obs.Start("cv-fold").
+					Attr("fold", f+1).Attr("restored", true).End()
+				if err := merge(f, out); err != nil {
+					return fail(err)
+				}
+				continue
 			}
 			train, test := dataset.TrainTestFromFolds(folds, f)
 			sp := opt.Obs.Start("cv-fold").
 				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
 			foldStart := time.Now()
-			out := runFold(ctx, p, d, train, test)
+			out := runFold(ctx, p, d, train, test, opt.Faults)
 			out.elapsed = time.Since(foldStart)
+			out = persist(f, out)
 			if out.err != nil {
 				sp.Attr("error", out.err.Error()).End()
 			} else {
 				sp.Attr("accuracy", fmt.Sprintf("%.4f", out.acc)).End()
 			}
 			if err := merge(f, out); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}

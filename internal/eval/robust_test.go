@@ -61,8 +61,10 @@ func TestFoldPanicAbortsWithoutContinueOnError(t *testing.T) {
 	if err == nil {
 		t.Fatal("panicking fold without isolation should abort the run")
 	}
-	if res != nil {
-		t.Fatalf("aborted run returned a result: %+v", res)
+	// Aborted runs still return the partial statistics of the folds
+	// that completed before the abort (here: none — fold 1 panicked).
+	if res == nil || res.Completed != 0 {
+		t.Fatalf("aborted run result = %+v, want empty partial stats", res)
 	}
 	if !strings.Contains(err.Error(), "fold bomb") {
 		t.Fatalf("error %q does not carry the panic value", err)
@@ -97,8 +99,10 @@ func TestCancellationOverridesIsolation(t *testing.T) {
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("err = %v, want guard.ErrCanceled", err)
 	}
-	if res != nil {
-		t.Fatalf("canceled run returned a result: %+v", res)
+	// Cancellation aborts the run but the folds completed before the
+	// signal are still reported, so a CLI can print partial stats.
+	if res == nil || res.Completed != 1 || !approx(res.Mean, 1) {
+		t.Fatalf("canceled run partial stats = %+v, want 1 completed oracle fold", res)
 	}
 }
 

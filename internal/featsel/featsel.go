@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dfpc/internal/bitset"
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/measures"
 	"dfpc/internal/obs"
@@ -85,6 +86,9 @@ type Options struct {
 	// order with a strict-inequality tie-break, so the selected feature
 	// set is bit-for-bit identical to the sequential run.
 	Workers parallel.Workers
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the selection entry (point featsel.mmrfs). Nil is free.
+	Faults *faults.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -215,6 +219,9 @@ func MMRFS(cands []Candidate, classMasks []*bitset.Bitset, labels []int, opt Opt
 	g := guard.New(opt.Ctx, guard.Limits{Deadline: opt.Deadline})
 	if err := g.CheckNow(); err != nil {
 		return nil, err
+	}
+	if err := opt.Faults.Hit(faults.FeatselMMRFS); err != nil {
+		return nil, fmt.Errorf("featsel: %w", err)
 	}
 	n := len(labels)
 	for i, c := range cands {

@@ -17,6 +17,9 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.hitEntry("apriori"); err != nil {
+		return nil, err
+	}
 	g := opt.guard()
 	if err := g.CheckNow(); err != nil {
 		return nil, err

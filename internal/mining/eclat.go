@@ -20,6 +20,9 @@ func Eclat(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.hitEntry("eclat"); err != nil {
+		return nil, err
+	}
 	n := len(tx)
 	// Build vertical columns for frequent items.
 	counts := map[int32]int{}

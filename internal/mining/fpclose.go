@@ -29,6 +29,9 @@ func FPClose(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.hitEntry("fpclose"); err != nil {
+		return nil, err
+	}
 	numItems := 0
 	for _, t := range tx {
 		for _, it := range t {

@@ -16,6 +16,9 @@ func FPGrowth(tx [][]int32, opt Options) ([]Pattern, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.hitEntry("fpgrowth"); err != nil {
+		return nil, err
+	}
 	w := make([]int, len(tx))
 	for i := range w {
 		w[i] = 1

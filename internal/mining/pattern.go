@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 )
@@ -84,6 +85,19 @@ type Options struct {
 	// mining run (algorithm, min_sup, patterns found). Nil — the
 	// default — disables logging at the cost of one nil check.
 	Log *slog.Logger
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the miner's entry (point mine.grow). Nil is free.
+	Faults *faults.Registry
+}
+
+// hitEntry fires the shared miner-entry injection point; every miner
+// calls it right after validate so an armed fault aborts the run with
+// a sentinel before any enumeration work.
+func (o Options) hitEntry(algo string) error {
+	if err := o.Faults.Hit(faults.MineGrow); err != nil {
+		return fmt.Errorf("mining: %s: %w", algo, err)
+	}
+	return nil
 }
 
 // logDone emits the run-completion record shared by the four miners.

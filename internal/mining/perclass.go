@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dfpc/internal/dataset"
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
@@ -55,6 +56,32 @@ type PerClassOptions struct {
 	// the pattern-budget accounting replays the sequential semantics
 	// exactly, so the returned union is identical for any worker count.
 	Workers parallel.Workers
+	// Faults, when non-nil, enables deterministic fault injection: one
+	// mine.partition hit per class partition, plus the miners' own
+	// mine.grow entry point. Nil is free.
+	Faults *faults.Registry
+	// Checkpoint, when non-nil, persists each class partition's raw
+	// pattern stream after it is mined and replays it on a later run,
+	// skipping the enumeration. Checkpoints are keyed by (class, cap)
+	// — the cap is part of the key because a capped run is a strict
+	// prefix of an uncapped one, so streams mined at different caps are
+	// different artifacts. The replayed stream feeds the exact same
+	// class-order merge, so a resumed union is byte-identical to an
+	// uninterrupted one at any worker count.
+	Checkpoint PartitionCheckpoint
+}
+
+// PartitionCheckpoint persists per-class partition results for
+// checkpoint/resume of long mining runs. Implementations must be safe
+// for concurrent use (partitions mine in parallel).
+type PartitionCheckpoint interface {
+	// Load returns the previously saved raw pattern stream for
+	// (class, cap), or ok=false when none exists.
+	Load(class, cap int) (ps []Pattern, ok bool)
+	// Save persists the raw pattern stream for (class, cap). Errors
+	// abort the mining run — a checkpoint that cannot be written must
+	// not be silently skipped, or a crash would replay differently.
+	Save(class, cap int, ps []Pattern) error
 }
 
 // MinePerClass partitions the binary dataset by class, mines each
@@ -92,6 +119,9 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 	// mining concurrently). It returns FPClose's raw pattern stream —
 	// filtering and budget accounting happen in the class-order merge.
 	mineClass := func(c, cap int, o *obs.Observer) ([]Pattern, error) {
+		if err := opt.Faults.Hit(faults.MinePartition); err != nil {
+			return nil, fmt.Errorf("mining: class %d partition: %w", c, err)
+		}
 		rows := b.ClassMasks[c].Indices()
 		tx := make([][]int32, len(rows))
 		for i, r := range rows {
@@ -103,24 +133,38 @@ func MinePerClass(b *dataset.Binary, opt PerClassOptions) ([]Pattern, error) {
 		}
 		sp := o.Start("mine-class").
 			Attr("class", c).Attr("rows", len(rows)).Attr("abs_min_sup", abs)
-		mopt := Options{
-			MinSupport:  abs,
-			MaxLen:      opt.MaxLen,
-			MaxPatterns: cap,
-			Ctx:         opt.Ctx,
-			Deadline:    opt.Deadline,
-			MemLimit:    opt.MemLimit,
-			Obs:         o,
-			Log:         opt.Log,
-		}
 		var ps []Pattern
 		var err error
-		if opt.Closed {
-			ps, err = FPClose(tx, mopt)
-		} else {
-			ps, err = FPGrowth(tx, mopt)
+		restored := false
+		if opt.Checkpoint != nil {
+			ps, restored = opt.Checkpoint.Load(c, cap)
 		}
-		sp.Attr("patterns", len(ps)).End()
+		if !restored {
+			mopt := Options{
+				MinSupport:  abs,
+				MaxLen:      opt.MaxLen,
+				MaxPatterns: cap,
+				Ctx:         opt.Ctx,
+				Deadline:    opt.Deadline,
+				MemLimit:    opt.MemLimit,
+				Obs:         o,
+				Log:         opt.Log,
+				Faults:      opt.Faults,
+			}
+			if opt.Closed {
+				ps, err = FPClose(tx, mopt)
+			} else {
+				ps, err = FPGrowth(tx, mopt)
+			}
+			// Only clean partitions checkpoint: a budget-tripped or
+			// canceled stream is partial and must be re-mined on resume.
+			if err == nil && opt.Checkpoint != nil {
+				if cerr := opt.Checkpoint.Save(c, cap, ps); cerr != nil {
+					err = fmt.Errorf("mining: class %d checkpoint: %w", c, cerr)
+				}
+			}
+		}
+		sp.Attr("patterns", len(ps)).Attr("restored", restored).End()
 		if opt.Log != nil {
 			opt.Log.Debug("class partition mined",
 				slog.Int("class", c),

@@ -3,10 +3,12 @@ package obs
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+
+	"dfpc/internal/durable"
 )
 
 // ProfileFlags holds the standard profiling flag values shared by the
@@ -29,56 +31,69 @@ func (f *ProfileFlags) Register(fs *flag.FlagSet) {
 // Start begins the requested profiles. The returned stop function ends
 // them and writes the heap profile; call it exactly once (defer is
 // fine). With no flags set, both Start and stop are no-ops.
+//
+// Profiles stream into durable temp files and only rename to their
+// final paths on a clean stop, so a crash mid-run never leaves a torn
+// pprof file where a previous complete one stood.
 func (f *ProfileFlags) Start() (stop func() error, err error) {
-	var cpuFile, traceFile *os.File
-	cleanup := func() {
+	var cpuFile, traceFile *durable.AtomicFile
+	abort := func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			cpuFile.Abort()
 		}
 		if traceFile != nil {
 			trace.Stop()
-			traceFile.Close()
+			traceFile.Abort()
 		}
 	}
 	if f.CPUProfile != "" {
-		cpuFile, err = os.Create(f.CPUProfile)
+		cpuFile, err = durable.Create(f.CPUProfile, nil)
 		if err != nil {
 			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			cpuFile.Abort()
 			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
 		}
 	}
 	if f.TracePath != "" {
-		traceFile, err = os.Create(f.TracePath)
+		traceFile, err = durable.Create(f.TracePath, nil)
 		if err != nil {
-			cleanup()
+			abort()
 			return nil, fmt.Errorf("obs: trace: %w", err)
 		}
 		if err := trace.Start(traceFile); err != nil {
-			traceFile.Close()
+			traceFile.Abort()
 			traceFile = nil
-			cleanup()
+			abort()
 			return nil, fmt.Errorf("obs: trace: %w", err)
 		}
 	}
 	memPath := f.MemProfile
 	return func() error {
-		cleanup()
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: cpuprofile: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: trace: %w", err)
+			}
+		}
 		if memPath == "" {
-			return nil
+			return firstErr
 		}
-		mf, err := os.Create(memPath)
-		if err != nil {
-			return fmt.Errorf("obs: memprofile: %w", err)
+		if err := durable.WriteAtomic(memPath, nil, func(w io.Writer) error {
+			runtime.GC() // settle live objects before the heap snapshot
+			return pprof.WriteHeapProfile(w)
+		}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: memprofile: %w", err)
 		}
-		defer mf.Close()
-		runtime.GC() // settle live objects before the heap snapshot
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			return fmt.Errorf("obs: memprofile: %w", err)
-		}
-		return nil
+		return firstErr
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"dfpc/internal/faults"
 	"dfpc/internal/guard"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
@@ -47,6 +48,11 @@ type Config struct {
 	// is identical at any worker count; subproblems are assembled into
 	// the model in pair order.
 	Workers parallel.Workers
+	// Faults, when non-nil, enables deterministic fault injection at
+	// the start of every one-vs-one SMO subproblem solve (point
+	// svm.smo), which runs inside the parallel worker pool — an armed
+	// panic there exercises the pool's PanicError capture. Nil is free.
+	Faults *faults.Registry
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -135,6 +141,9 @@ func Train(x [][]int32, y []int, numClasses int, cfg Config) (*Model, error) {
 	solved := make([]*binaryModel, len(pairList))
 	err := parallel.ForEach(cfg.Workers, len(pairList), func(k int) error {
 		a, b := pairList[k][0], pairList[k][1]
+		if err := cfg.Faults.Hit(faults.SVMSolve); err != nil {
+			return fmt.Errorf("svm: pair (%d,%d): %w", a, b, err)
+		}
 		rowsA, rowsB := byClass[a], byClass[b]
 		px := make([][]int32, 0, len(rowsA)+len(rowsB))
 		py := make([]float64, 0, len(rowsA)+len(rowsB))

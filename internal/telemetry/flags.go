@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"dfpc/internal/faults"
 	"dfpc/internal/obs"
 )
 
@@ -107,6 +108,15 @@ func (f *Flags) Start(ctx context.Context, component string, o *obs.Observer, ve
 		}
 	}
 	return ses, nil
+}
+
+// SetFaults installs a fault-injection registry on the session's
+// journal, so -faults specs can target telemetry.journal.
+func (s *Session) SetFaults(r *faults.Registry) {
+	if s == nil {
+		return
+	}
+	s.journal.SetFaults(r)
 }
 
 // AddRun publishes a completed RunReport to the /runs ring buffer.

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"dfpc/internal/faults"
 	"dfpc/internal/obs"
 )
 
@@ -121,6 +122,7 @@ type Journal struct {
 	f         *os.File
 	runID     string
 	component string
+	faults    *faults.Registry
 }
 
 // OpenJournal opens (creating or appending to) the journal file at
@@ -134,6 +136,17 @@ func OpenJournal(path, component, runID string) (*Journal, error) {
 		return nil, fmt.Errorf("telemetry: journal: %w", err)
 	}
 	return &Journal{f: f, runID: runID, component: component}, nil
+}
+
+// SetFaults installs a fault-injection registry on the journal (nil is
+// fine and is the default).
+func (j *Journal) SetFaults(r *faults.Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.faults = r
+	j.mu.Unlock()
 }
 
 // Append writes one record as a single JSON line, stamping Time,
@@ -158,7 +171,16 @@ func (j *Journal) Append(rec Record) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.faults.Hit(faults.TelemetryJournal); err != nil {
+		return fmt.Errorf("telemetry: journal: %w", err)
+	}
+	// The single O_APPEND write keeps concurrent processes from
+	// interleaving; the per-line fsync bounds crash loss to the record
+	// in flight, so an interrupted campaign's journal stays replayable.
 	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("telemetry: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("telemetry: journal: %w", err)
 	}
 	return nil

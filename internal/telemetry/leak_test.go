@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// assertNoGoroutineLeak snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the
+// snapshot once everything registered after it has shut down. Register
+// it FIRST — t.Cleanup runs last-in-first-out, so servers and watchers
+// started later are already torn down when the check fires. A short
+// grace loop absorbs goroutines still draining through their exits.
+func assertNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+func TestHandleSignalsStopReleasesWatcher(t *testing.T) {
+	// The first signal.Notify in a process starts a permanent runtime
+	// watcher goroutine; force it up before the leak baseline so the
+	// check only sees HandleSignals's own goroutine.
+	warm := make(chan os.Signal, 1)
+	signal.Notify(warm, syscall.SIGUSR1)
+	signal.Stop(warm)
+
+	assertNoGoroutineLeak(t)
+	ctx, stop := HandleSignals(t.Context(), nil)
+	select {
+	case <-ctx.Done():
+		t.Fatal("context canceled before any signal")
+	default:
+	}
+	stop()
+	<-ctx.Done()
+	stop() // idempotent
+}

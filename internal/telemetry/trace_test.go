@@ -91,6 +91,7 @@ func TestDebugServerUnderLiveFit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test")
 	}
+	assertNoGoroutineLeak(t)
 	d, err := datagen.ByName("austral", 1)
 	if err != nil {
 		t.Fatal(err)

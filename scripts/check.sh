@@ -50,7 +50,8 @@ go vet ./...
 
 # Repo-specific static analysis (guard placement, sentinel-error
 # discipline, float equality, ctx plumbing, obs nil-safety, math
-# domains). Exit 1 = findings, exit 2 = a package failed to load.
+# domains, atomic artifact writes). Exit 1 = findings, exit 2 = a
+# package failed to load.
 echo ">> go run ./cmd/dfpc-vet ./..."
 go run ./cmd/dfpc-vet ./...
 
