@@ -125,10 +125,15 @@ func main() {
 		}
 		fmt.Fprintf(tw, "%s\t%v\t%v\t%+.1f%%\t%s\n", name, round(b), round(c), 100*delta, verdict)
 	}
-	for name, c := range curStages {
-		if _, ok := baseStages[name]; !ok && c >= int64(*minWall) {
-			fmt.Fprintf(tw, "%s\t-\t%v\t-\tnew\n", name, round(c))
+	var added []string
+	for name := range curStages {
+		if _, ok := baseStages[name]; !ok && curStages[name] >= int64(*minWall) {
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(tw, "%s\t-\t%v\t-\tnew\n", name, round(curStages[name]))
 	}
 	tw.Flush()
 	if skipped > 0 {

@@ -5,15 +5,26 @@
 //
 // Usage:
 //
-//	dfpc-vet [-only a,b] [-skip a,b] [-list] [packages ...]
+//	dfpc-vet [-only a,b] [-skip a,b] [-list] [-json] [-waivers]
+//	         [-nocache] [-cache-dir dir] [packages ...]
 //
 // With no patterns it analyzes ./... from the current directory.
+//
+// -json prints diagnostics as a JSON array (machine-readable, used by
+// CI to emit problem-matcher annotations). -waivers prints every
+// //vet:ignore comment in the tree with its file:line, analyzers, and
+// reason — and exits 1 if any waiver has an empty reason, so the audit
+// trail stays complete. Analysis results are cached per package under
+// the user cache dir (keyed by source content, dependency export data,
+// the analyzer set, the call-graph neighborhood, and the analyzer
+// sources themselves); -nocache disables the cache and -cache-dir
+// relocates it.
 //
 // Exit codes are CI-actionable:
 //
 //	0  clean — every package loaded and no analyzer reported anything
 //	1  findings — at least one diagnostic (fix it or //vet:ignore it
-//	   with a reason)
+//	   with a reason), or a reasonless waiver under -waivers
 //	2  load failure — a package failed to parse or type-check; its
 //	   errors go to stderr and the remaining packages are still
 //	   analyzed (their findings still print), so one broken package
@@ -21,9 +32,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"dfpc/internal/analysis"
@@ -38,8 +52,12 @@ func run(args []string) int {
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all enabled by default)")
 	skip := fs.String("skip", "", "comma-separated analyzers to disable")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print diagnostics as a JSON array")
+	waivers := fs.Bool("waivers", false, "report every //vet:ignore waiver; exit 1 if any lacks a reason")
+	nocache := fs.Bool("nocache", false, "disable the per-package result cache")
+	cacheDir := fs.String("cache-dir", "", "cache directory (default: <user cache dir>/dfpc-vet)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: dfpc-vet [-only a,b] [-skip a,b] [-list] [packages ...]\n")
+		fmt.Fprintf(fs.Output(), "usage: dfpc-vet [-only a,b] [-skip a,b] [-list] [-json] [-waivers] [-nocache] [-cache-dir dir] [packages ...]\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -88,13 +106,36 @@ func run(args []string) int {
 		}
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	wd, _ := os.Getwd()
-	for _, d := range diags {
-		if wd != "" && strings.HasPrefix(d.Pos.Filename, wd+string(os.PathSeparator)) {
-			d.Pos.Filename = d.Pos.Filename[len(wd)+1:]
+	if *waivers {
+		return reportWaivers(pkgs, *jsonOut, loadFailed)
+	}
+
+	var cache *analysis.Cache
+	if !*nocache {
+		dir := *cacheDir
+		if dir == "" {
+			if base, err := os.UserCacheDir(); err == nil {
+				dir = filepath.Join(base, "dfpc-vet")
+			}
 		}
-		fmt.Println(d)
+		if dir != "" {
+			cache = analysis.NewCache(dir, analysis.ToolFingerprint("."))
+		}
+	}
+
+	diags := analysis.RunCached(pkgs, analyzers, cache)
+	wd, _ := os.Getwd()
+	for i := range diags {
+		if wd != "" && strings.HasPrefix(diags[i].Pos.Filename, wd+string(os.PathSeparator)) {
+			diags[i].Pos.Filename = diags[i].Pos.Filename[len(wd)+1:]
+		}
+	}
+	if *jsonOut {
+		printJSONDiags(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 
 	switch {
@@ -103,7 +144,91 @@ func run(args []string) int {
 	case len(diags) > 0:
 		return 1
 	default:
-		fmt.Printf("ok\t%d packages, %d analyzers, 0 findings\n", len(pkgs), len(analyzers))
+		if !*jsonOut {
+			cacheNote := ""
+			if cache != nil {
+				cacheNote = fmt.Sprintf(", %d cached", cache.Hits())
+			}
+			fmt.Printf("ok\t%d packages, %d analyzers, 0 findings%s\n", len(pkgs), len(analyzers), cacheNote)
+		}
+		return 0
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape consumed by the CI
+// problem matcher.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSONDiags(diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// reportWaivers prints every //vet:ignore in the loaded packages and
+// fails the run if any waiver is missing its reason — a waiver without
+// a reason is an invisible suppression, which defeats the audit trail.
+func reportWaivers(pkgs []*analysis.Package, jsonOut bool, loadFailed bool) int {
+	var all []analysis.Waiver
+	for _, p := range pkgs {
+		all = append(all, p.Waivers()...)
+	}
+	wd, _ := os.Getwd()
+	for i := range all {
+		if wd != "" && strings.HasPrefix(all[i].File, wd+string(os.PathSeparator)) {
+			all[i].File = all[i].File[len(wd)+1:]
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		return all[i].Line < all[j].Line
+	})
+	missing := 0
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(all)
+		for _, w := range all {
+			if w.Reason == "" {
+				missing++
+			}
+		}
+	} else {
+		for _, w := range all {
+			reason := w.Reason
+			if reason == "" {
+				reason = "MISSING REASON"
+				missing++
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", w.File, w.Line, strings.Join(w.Analyzers, ","), reason)
+		}
+		fmt.Printf("%d waiver(s), %d missing a reason\n", len(all), missing)
+	}
+	switch {
+	case loadFailed:
+		return 2
+	case missing > 0:
+		fmt.Fprintln(os.Stderr, "dfpc-vet: every //vet:ignore must state its reason")
+		return 1
+	default:
 		return 0
 	}
 }

@@ -11,6 +11,20 @@
 //   - obsnil:      obs methods keep their nil-receiver fast path
 //   - mathrange:   math.Log/Sqrt in measures sit behind domain checks
 //   - parasafe:    parallel worker closures keep writes index-partitioned
+//   - spanend:     every obs span started is ended on all paths
+//   - atomicwrite: artifact/checkpoint writers stay temp+rename atomic
+//   - maporder:    map iteration order never escapes unsorted
+//   - nondeterm:   no clocks/rand/racing selects/raw goroutines in the
+//     determinism domain (call-graph reachability from Fit/CV/miners)
+//   - hotalloc:    no per-call allocation shapes in the predict hot
+//     path (call-graph reachability from Predict/ExplainPredict)
+//   - atomicmix:   no mixed atomic/plain access or copied locks in the
+//     concurrency packages
+//
+// The last four are whole-program checks: Run first builds a call graph
+// over every loaded package (callgraph.go) and precomputes the
+// determinism and hot-path reachability sets that maporder's siblings
+// consult through Pass.Graph.
 //
 // The analyzers are table-registered (see registry.go); cmd/dfpc-vet is
 // the CLI front end and scripts/check.sh runs it between `go vet` and
@@ -34,6 +48,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"dfpc/internal/parallel"
 )
 
 // An Analyzer is one named, self-contained check.
@@ -88,6 +104,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Graph is the whole-program call graph over every package in the
+	// run, with the Determinism and HotPath reachability sets
+	// precomputed (see callgraph.go). Per-function membership checks go
+	// through Graph.InDeterminism/InHotPath with this pass's Info.
+	Graph *CallGraph
 
 	ignores ignoreIndex
 	sink    *[]Diagnostic
@@ -122,10 +143,28 @@ func (p *Pass) inspect(fn func(ast.Node) bool) {
 // skipped here — the caller decides how loudly to degrade (dfpc-vet
 // reports them on stderr and exits 2).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	return RunCached(pkgs, analyzers, nil)
+}
+
+// RunCached is Run with an optional per-package result cache (nil
+// disables caching; see Cache). The whole-program call graph is built
+// first — every analyzer sees the same graph — and then packages are
+// analyzed concurrently on the repo's own deterministic worker pool,
+// each writing findings into its own index slot; the index-ordered
+// merge plus the final position sort make the output identical at any
+// worker count (the same contract dfpc-vet enforces on the pipeline).
+func RunCached(pkgs []*Package, analyzers []*Analyzer, cache *Cache) []Diagnostic {
+	graph := BuildCallGraph(pkgs)
+	sinks := make([][]Diagnostic, len(pkgs))
+	err := parallel.ForEach(0, len(pkgs), func(i int) error {
+		pkg := pkgs[i]
 		if len(pkg.Errs) > 0 || pkg.Types == nil {
-			continue
+			return nil
+		}
+		key := cache.key(pkg, analyzers, graph)
+		if cached, ok := cache.load(key); ok {
+			sinks[i] = cached
+			return nil
 		}
 		for _, a := range analyzers {
 			if !a.appliesTo(pkg.BaseName()) {
@@ -137,11 +176,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Graph:    graph,
 				ignores:  pkg.ignores,
-				sink:     &diags,
+				sink:     &sinks[i],
 			}
 			a.Run(pass)
 		}
+		cache.store(key, sinks[i])
+		return nil
+	})
+	if err != nil {
+		// The workers return no errors, so this is a captured analyzer
+		// panic — a bug in an analyzer, not a finding; keep it loud.
+		panic(err)
+	}
+	var diags []Diagnostic
+	for _, s := range sinks {
+		diags = append(diags, s...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

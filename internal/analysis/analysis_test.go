@@ -7,25 +7,29 @@ import (
 
 func TestParseIgnore(t *testing.T) {
 	cases := []struct {
-		text string
-		want []string
+		text   string
+		want   []string
+		reason string
 	}{
-		{"//vet:ignore floateq exact accumulator identity", []string{"floateq"}},
-		{"//vet:ignore ctxfirst,guardloop sanctioned carrier", []string{"ctxfirst", "guardloop"}},
-		{"//vet:ignore", nil},
-		{"//vet:ignored floateq", nil},
-		{"// vet:ignore floateq", nil},
-		{"// regular comment", nil},
-		{"//vet:ignore  floateq", []string{"floateq"}},
+		{"//vet:ignore floateq exact accumulator identity", []string{"floateq"}, "exact accumulator identity"},
+		{"//vet:ignore ctxfirst,guardloop sanctioned carrier", []string{"ctxfirst", "guardloop"}, "sanctioned carrier"},
+		{"//vet:ignore", nil, ""},
+		{"//vet:ignored floateq", nil, ""},
+		{"// vet:ignore floateq", nil, ""},
+		{"// regular comment", nil, ""},
+		{"//vet:ignore  floateq", []string{"floateq"}, ""},
 	}
 	for _, c := range cases {
-		got, ok := parseIgnore(c.text)
+		got, reason, ok := parseIgnore(c.text)
 		if (c.want == nil) == ok {
 			t.Errorf("parseIgnore(%q) ok = %v, want %v", c.text, ok, c.want != nil)
 			continue
 		}
 		if strings.Join(got, "|") != strings.Join(c.want, "|") {
 			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got, c.want)
+		}
+		if reason != c.reason {
+			t.Errorf("parseIgnore(%q) reason = %q, want %q", c.text, reason, c.reason)
 		}
 	}
 }

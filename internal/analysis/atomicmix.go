@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicmix protects the concurrency substrate — internal/parallel,
+// internal/obs, internal/telemetry — from the two lock-discipline bugs
+// the race detector only catches when the schedule cooperates: a field
+// accessed through sync/atomic in one place and with a plain load or
+// store in another (the plain access tears the synchronization), and a
+// value containing a sync.Mutex/WaitGroup/Once copied by value (the
+// copy's lock state diverges silently from the original's).
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "no mixed atomic/plain access and no copied locks in the concurrency packages\n\n" +
+		"Within parallel, obs, and telemetry: once a variable or field is\n" +
+		"passed by address to a sync/atomic function anywhere in the package,\n" +
+		"every other access must also be atomic — a plain read can observe a\n" +
+		"torn or stale value and a plain write races the CAS loop. Separately,\n" +
+		"any type that (transitively) contains a sync.Mutex, RWMutex,\n" +
+		"WaitGroup, Once, Cond, Map, or Pool must move by pointer: by-value\n" +
+		"receivers, parameters, and value-copy assignments fork the lock\n" +
+		"state. Sanctioned sites (e.g. a constructor's pre-publication\n" +
+		"initialization) carry a //vet:ignore atomicmix with the reason. Test\n" +
+		"files are exempt.",
+	Default:  true,
+	Packages: []string{"parallel", "obs", "telemetry"},
+	Run:      runAtomicmix,
+}
+
+func runAtomicmix(p *Pass) {
+	atomicObjs, sanctioned := collectAtomicTargets(p)
+	p.inspect(func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			checkCopiedLockSignature(p, fd)
+		}
+		return true
+	})
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.Ident:
+				obj := p.Info.ObjectOf(s)
+				if obj == nil || !atomicObjs[obj] || sanctioned[s.Pos()] {
+					return true
+				}
+				if obj.Pos() == s.Pos() {
+					return true // the declaration itself
+				}
+				p.Reportf(s.Pos(),
+					"%s is accessed with sync/atomic elsewhere in this package; this plain access races the atomic ones — use the matching atomic load/store", obj.Name())
+			case *ast.AssignStmt:
+				checkCopiedLockAssign(p, s)
+			}
+			return true
+		})
+	}
+}
+
+// collectAtomicTargets finds every variable or struct field whose
+// address is passed to a sync/atomic function, and records the
+// positions of the identifiers inside those calls (and inside
+// composite-literal initialization) so they are not themselves flagged
+// as plain accesses.
+func collectAtomicTargets(p *Pass) (map[types.Object]bool, map[token.Pos]bool) {
+	targets := map[types.Object]bool{}
+	sanctioned := map[token.Pos]bool{}
+	p.inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(p.Info, s)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range s.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				obj := rootIdentObj(p.Info, un.X, sanctioned)
+				if obj != nil {
+					targets[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			// Zero-value initialization in a literal is pre-publication;
+			// mark the field keys so they are not reported.
+			for _, el := range s.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						sanctioned[id.Pos()] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return targets, sanctioned
+}
+
+// rootIdentObj resolves expr (x, s.x, s.a.x) to the object of its
+// final identifier and marks every identifier on the path sanctioned.
+func rootIdentObj(info *types.Info, e ast.Expr, sanctioned map[token.Pos]bool) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			sanctioned[x.Pos()] = true
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			sanctioned[x.Sel.Pos()] = true
+			markPathSanctioned(x.X, sanctioned)
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// markPathSanctioned marks the receiver chain (s, s.a, ...) so the
+// container identifiers inside an atomic call are not flagged.
+func markPathSanctioned(e ast.Expr, sanctioned map[token.Pos]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sanctioned[id.Pos()] = true
+		}
+		return true
+	})
+}
+
+// containsLock reports whether t (transitively, through struct fields
+// and arrays) contains a sync lock type that must not be copied.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkCopiedLockSignature flags by-value receivers and parameters of
+// lock-containing types.
+func checkCopiedLockSignature(p *Pass, fd *ast.FuncDecl) {
+	if strings.HasSuffix(p.Fset.Position(fd.Pos()).Filename, "_test.go") {
+		return
+	}
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := p.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				p.Reportf(f.Type.Pos(),
+					"%s of %s passes %s by value, copying its lock; take a pointer", kind, fd.Name.Name, t.String())
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type.Params != nil {
+		check(fd.Type.Params, "parameter")
+	}
+}
+
+// checkCopiedLockAssign flags value-copy assignments of lock-containing
+// values: x := y / x = y where y is an existing value (not a composite
+// literal or call constructing a fresh one).
+func checkCopiedLockAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			// an existing value — copying it copies the lock
+		default:
+			continue // fresh literal / call result / &x are fine
+		}
+		t := p.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(as.Rhs[i].Pos(),
+				"assignment copies %s by value, forking its lock state; share it by pointer", t.String())
+		}
+	}
+}

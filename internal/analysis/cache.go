@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// cacheSchema versions the cache entry format and the key recipe; bump
+// it when either changes so stale entries miss instead of mislead.
+const cacheSchema = "dfpc-vet-cache-v1"
+
+// A Cache memoizes per-package analyzer results across dfpc-vet runs.
+// Entries are keyed by content, so there is no invalidation protocol:
+// the key folds in
+//
+//   - the tool fingerprint (a hash of the analysis sources themselves,
+//     best-effort — see Fingerprint), so editing an analyzer never
+//     replays its old verdicts;
+//   - the analyzer set selected for the run;
+//   - the package unit's identity and the content hash of every source
+//     file in it;
+//   - the build-cache export paths of its resolved imports (the go
+//     command content-addresses those, so they change exactly when a
+//     dependency's exported shape does);
+//   - the package's slice of the whole-program call graph's
+//     reachability sets (CallGraph.DomainHash), because maporder,
+//     nondeterm, and hotalloc findings depend on the graph only
+//     through those memberships.
+//
+// A nil *Cache is valid and disables caching; load/store degrade to
+// no-ops on any I/O error, so a broken cache directory can slow a run
+// but never corrupt it.
+type Cache struct {
+	// Dir is the directory holding one JSON file per key.
+	Dir string
+	// Fingerprint identifies the analyzer implementation build; mixed
+	// into every key.
+	Fingerprint string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir with the
+// given tool fingerprint. It returns nil — caching disabled — when the
+// directory cannot be created.
+func NewCache(dir, fingerprint string) *Cache {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &Cache{Dir: dir, Fingerprint: fingerprint}
+}
+
+// Hits reports how many packages were served from the cache.
+func (c *Cache) Hits() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.hits.Load())
+}
+
+// Misses reports how many packages were analyzed fresh.
+func (c *Cache) Misses() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.misses.Load())
+}
+
+// key derives the content key for one package under one analyzer set,
+// or "" when caching is off or the package's inputs cannot be hashed.
+func (c *Cache) key(pkg *Package, analyzers []*Analyzer, graph *CallGraph) string {
+	if c == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", cacheSchema, c.Fingerprint)
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	fmt.Fprintf(h, "analyzers %v\n", names)
+	fmt.Fprintf(h, "unit %s %s\n", pkg.ImportPath, pkg.Name)
+	for _, src := range pkg.srcFiles {
+		fh, err := hashFile(src)
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "src %s %s\n", filepath.Base(src), fh)
+	}
+	for _, exp := range pkg.depExports {
+		fmt.Fprintf(h, "dep %s\n", exp)
+	}
+	fmt.Fprintf(h, "domain %s\n", graph.DomainHash(pkg.ImportPath))
+	if strings.HasSuffix(pkg.Name, "_test") {
+		// External test units type-check under path+"_test"; fold in
+		// their own functions' domain memberships too.
+		fmt.Fprintf(h, "domainx %s\n", graph.DomainHash(pkg.ImportPath+"_test"))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashFile returns the hex sha256 of a file's contents.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is the stored value: the package's diagnostics under the
+// keyed analyzer set (possibly empty — a clean package is the common
+// and most valuable entry).
+type cacheEntry struct {
+	Schema      string       `json:"schema"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// load returns the cached diagnostics for key, if present and intact.
+func (c *Cache) load(key string) ([]Diagnostic, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != cacheSchema {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Diagnostics, true
+}
+
+// store writes the diagnostics for key. Best-effort: the write goes to
+// a temp file first so a crashed run cannot leave a torn entry that a
+// later run would half-trust (json.Unmarshal failure degrades to a
+// miss, but never serves partial results).
+func (c *Cache) store(key string, diags []Diagnostic) {
+	if c == nil || key == "" {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Schema: cacheSchema, Diagnostics: diags})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.Dir, ".entry-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.entryPath(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// ToolFingerprint hashes the analysis implementation itself — the
+// sources of dfpc/internal/analysis, located through `go list` from
+// dir — so editing any analyzer invalidates every cache entry. When
+// the package cannot be located (running outside this module), it
+// returns a constant and the schema version is the only guard.
+func ToolFingerprint(dir string) string {
+	pkgs, err := goList(dir, "list", "-e", "-json=Dir,ImportPath,Name,GoFiles", "dfpc/internal/analysis")
+	if err != nil || len(pkgs) != 1 || pkgs[0].Dir == "" {
+		return "no-fingerprint"
+	}
+	h := sha256.New()
+	files := append([]string{}, pkgs[0].GoFiles...)
+	sort.Strings(files)
+	for _, f := range files {
+		fh, err := hashFile(filepath.Join(pkgs[0].Dir, f))
+		if err != nil {
+			return "no-fingerprint"
+		}
+		fmt.Fprintf(h, "%s %s\n", f, fh)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

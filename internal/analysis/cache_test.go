@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCacheRoundTrip pins the cache contract: a warm run must hit for
+// every package, return byte-identical diagnostics, and a changed tool
+// fingerprint must invalidate everything.
+func TestCacheRoundTrip(t *testing.T) {
+	pkgs, err := Load(".", "dfpc/internal/bitset", "dfpc/internal/guard")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.Errs) > 0 {
+			t.Fatalf("package %s failed to load: %v", p.ImportPath, p.Errs)
+		}
+	}
+
+	dir := t.TempDir()
+	cold := NewCache(dir, "fp-v1")
+	got1 := RunCached(pkgs, All, cold)
+	if cold.Hits() != 0 {
+		t.Errorf("cold run reported %d hits, want 0", cold.Hits())
+	}
+	if cold.Misses() != len(pkgs) {
+		t.Errorf("cold run reported %d misses, want %d", cold.Misses(), len(pkgs))
+	}
+
+	warm := NewCache(dir, "fp-v1")
+	got2 := RunCached(pkgs, All, warm)
+	if warm.Hits() != len(pkgs) {
+		t.Errorf("warm run reported %d hits, want %d", warm.Hits(), len(pkgs))
+	}
+	if !reflect.DeepEqual(got1, got2) {
+		t.Errorf("warm run diagnostics differ from cold run:\ncold: %v\nwarm: %v", got1, got2)
+	}
+
+	// A new tool fingerprint simulates editing the analyzers themselves:
+	// every entry must be recomputed, not replayed.
+	bumped := NewCache(dir, "fp-v2")
+	got3 := RunCached(pkgs, All, bumped)
+	if bumped.Hits() != 0 {
+		t.Errorf("fingerprint-bumped run reported %d hits, want 0", bumped.Hits())
+	}
+	if !reflect.DeepEqual(got1, got3) {
+		t.Errorf("recomputed diagnostics differ from original run")
+	}
+
+	// A narrower analyzer set must key differently from the full set —
+	// otherwise `-only` runs could poison full runs.
+	subset, err := Select("guardloop", "")
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	narrow := NewCache(dir, "fp-v1")
+	RunCached(pkgs, subset, narrow)
+	if narrow.Hits() != 0 {
+		t.Errorf("subset run reported %d hits, want 0 (analyzer set must be part of the key)", narrow.Hits())
+	}
+
+	// A nil cache must behave identically to a cold run.
+	got4 := RunCached(pkgs, All, nil)
+	if !reflect.DeepEqual(got1, got4) {
+		t.Errorf("uncached diagnostics differ from cached run")
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadRealGraph builds the call graph over the production packages the
+// reachability contracts are written for.
+func loadRealGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkgs, err := Load(".",
+		"dfpc/internal/core",
+		"dfpc/internal/svm",
+		"dfpc/internal/mining",
+		"dfpc/internal/dataset",
+		"dfpc/internal/discretize",
+	)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.Errs) > 0 {
+			t.Fatalf("package %s failed to load: %v", p.ImportPath, p.Errs)
+		}
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// TestCallGraphReachability pins the two reachability sets on the real
+// pipeline: the analyzers' soundness rests on these memberships, so a
+// refactor that silently drops (say) the SVM predictor out of the hot
+// set must fail here, not ship.
+func TestCallGraphReachability(t *testing.T) {
+	g := loadRealGraph(t)
+
+	inDeterminism := []string{
+		"(*dfpc/internal/core.Pipeline).Fit",
+		"(*dfpc/internal/core.Pipeline).FitContext",
+		"dfpc/internal/mining.FPClose",
+		"dfpc/internal/svm.Train", // training is part of Fit's cone
+	}
+	for _, key := range inDeterminism {
+		if !g.Determinism[key] {
+			t.Errorf("%s not in the determinism domain", key)
+		}
+	}
+
+	inHotPath := []string{
+		"(*dfpc/internal/core.Pipeline).Predict",
+		"(*dfpc/internal/core.Pipeline).PredictContext",
+		// Reached only through core's predictor interface — pins the
+		// CHA edge for interface method calls.
+		"(*dfpc/internal/svm.Model).Predict",
+		// The per-row encoder every prediction goes through.
+		"(*dfpc/internal/core.Pipeline).featureVector",
+	}
+	for _, key := range inHotPath {
+		if !g.HotPath[key] {
+			t.Errorf("%s not in the hot path", key)
+		}
+	}
+
+	// Training must not be dragged into the serving cone: if svm.Train
+	// ever shows up here, hotalloc would start flagging fit-time code
+	// and the zero-finding sweep becomes meaningless.
+	if g.HotPath["dfpc/internal/svm.Train"] {
+		t.Error("svm.Train is in the hot path; the Predict cone leaked into training")
+	}
+	if g.HotPath["(*dfpc/internal/core.Pipeline).Fit"] {
+		t.Error("Pipeline.Fit is in the hot path; the Predict cone leaked into training")
+	}
+}
+
+// TestCallGraphEdges spot-checks direct edges so reachability failures
+// are debuggable at the edge level.
+func TestCallGraphEdges(t *testing.T) {
+	g := loadRealGraph(t)
+	callees := g.Callees("(*dfpc/internal/core.Pipeline).Fit")
+	if len(callees) == 0 {
+		t.Fatal("Pipeline.Fit has no outgoing edges")
+	}
+	found := false
+	for _, c := range callees {
+		if strings.Contains(c, "FitContext") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Pipeline.Fit does not call FitContext; callees: %v", callees)
+	}
+}
+
+// TestDomainHashStable pins that DomainHash is deterministic across
+// graph builds — the cache key depends on it.
+func TestDomainHashStable(t *testing.T) {
+	g1 := loadRealGraph(t)
+	g2 := loadRealGraph(t)
+	for _, pkg := range []string{"dfpc/internal/core", "dfpc/internal/svm"} {
+		h1, h2 := g1.DomainHash(pkg), g2.DomainHash(pkg)
+		if h1 == "" {
+			t.Errorf("DomainHash(%s) is empty", pkg)
+		}
+		if h1 != h2 {
+			t.Errorf("DomainHash(%s) differs across builds:\n%s\n%s", pkg, h1, h2)
+		}
+	}
+	if g1.DomainHash("dfpc/internal/core") == g1.DomainHash("dfpc/internal/svm") {
+		t.Error("DomainHash does not distinguish packages")
+	}
+}

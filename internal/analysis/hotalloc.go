@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc is the static half of the zero-allocation predict
+// discipline (ROADMAP #1: the compiled predict path must serve
+// "millions of users", which means no per-request garbage). It walks
+// every function the call graph reaches from Predict, PredictContext,
+// or ExplainPredict and flags the allocation shapes that creep into
+// hot paths one innocent edit at a time. The dynamic half is
+// BenchmarkPredictAllocs, whose testing.AllocsPerRun budget pins the
+// measured number this analyzer exists to drive toward zero.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "keep per-call allocations out of the predict hot path\n\n" +
+		"Functions reachable from Predict/PredictContext/ExplainPredict are\n" +
+		"the serving cone. Flagged shapes: fmt.Sprintf/Sprint (formatting\n" +
+		"allocates), non-constant string concatenation, map literals and\n" +
+		"make(map) per call, slice literals/make inside loops, appends to\n" +
+		"un-presized local slices inside loops, closures capturing enclosing\n" +
+		"variables (the environment is heap-allocated), and interface boxing\n" +
+		"of non-pointer values (the boxed copy is heap-allocated). Batch-level\n" +
+		"allocations that amortize over rows and sanctioned cold branches\n" +
+		"carry a //vet:ignore hotalloc with the reason. Test files are exempt.",
+	Default: true,
+	Run:     runHotalloc,
+}
+
+func runHotalloc(p *Pass) {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !p.Graph.InHotPath(p.Info, fd) {
+				continue
+			}
+			checkHotalloc(p, fd)
+		}
+	}
+}
+
+func checkHotalloc(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	presized := presizedLocals(p, fd)
+	var loopDepth int
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			for _, child := range childNodes(s) {
+				ast.Inspect(child, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.FuncLit:
+			if capt := capturedVar(p, s); capt != nil {
+				p.Reportf(s.Pos(),
+					"closure in hot-path function %s captures %s; the environment is heap-allocated per call — hoist the closure or pass state explicitly",
+					name, capt.Name())
+			}
+			// The literal's body inherits the hot-path obligations.
+			return true
+		case *ast.BinaryExpr:
+			if s.Op == token.ADD && isStringType(p.TypeOf(s)) && constValue(p.Info, s) == nil {
+				p.Reportf(s.OpPos,
+					"string concatenation in hot-path function %s allocates per call; format once at fit time or write into a reused buffer", name)
+			}
+		case *ast.CompositeLit:
+			t := p.TypeOf(s)
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(s.Pos(),
+					"map literal in hot-path function %s allocates per call; build the map once at fit time and reuse it", name)
+			case *types.Slice:
+				if loopDepth > 0 {
+					p.Reportf(s.Pos(),
+						"slice literal inside a loop in hot-path function %s allocates per iteration; hoist it out of the loop", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, fd, s, loopDepth, presized)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// childNodes returns the traversable children of a loop statement so
+// the custom walk can track loop depth.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{s.Init, s.Cond, s.Post, s.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		if s.X != nil {
+			out = append(out, s.X)
+		}
+		out = append(out, s.Body)
+	}
+	return out
+}
+
+// isNilNode guards against typed-nil ast fields (e.g. a ForStmt with
+// no Init has a nil *ast.Stmt boxed non-nil).
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Stmt:
+		return v == nil
+	case ast.Expr:
+		return v == nil
+	}
+	return n == nil
+}
+
+// checkHotCall flags allocating calls: fmt formatting, make(map),
+// make(slice) in loops, un-presized appends in loops, and interface
+// boxing of concrete arguments.
+func checkHotCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopDepth int, presized map[types.Object]bool) {
+	name := fd.Name.Name
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					switch p.TypeOf(call.Args[0]).Underlying().(type) {
+					case *types.Map:
+						p.Reportf(call.Pos(),
+							"make(map) in hot-path function %s allocates per call; build the map once at fit time and reuse it", name)
+					case *types.Slice:
+						if loopDepth > 0 {
+							p.Reportf(call.Pos(),
+								"make(slice) inside a loop in hot-path function %s allocates per iteration; hoist and reuse the buffer", name)
+						}
+					}
+				}
+			case "append":
+				if loopDepth > 0 {
+					if target := appendTarget(p, call); target != nil && !presized[target] && isLocalOf(target, fd) {
+						p.Reportf(call.Pos(),
+							"append to un-presized local slice %s inside a loop in hot-path function %s; growth reallocates repeatedly — make([]T, 0, n) it first", target.Name(), name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(p.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Appendf":
+			p.Reportf(call.Pos(),
+				"fmt.%s in hot-path function %s allocates per call; precompute the string at fit time or write into a reused buffer", fn.Name(), name)
+		}
+		// fmt's variadic any params would re-flag every argument as
+		// boxing; the formatting diagnostic above already covers it.
+		return
+	}
+	checkBoxing(p, fd, call, fn)
+}
+
+// checkBoxing flags arguments whose concrete non-pointer values are
+// implicitly converted to interface parameters — each boxed copy is a
+// heap allocation on the hot path.
+func checkBoxing(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func) {
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			// A type parameter's underlying type is its constraint
+			// interface, but generic calls are stenciled, not boxed.
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(p.Info, arg) || constValue(p.Info, arg) != nil {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the interface word, no allocation
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+			continue
+		}
+		p.Reportf(arg.Pos(),
+			"argument %s boxes a non-pointer %s into an interface in hot-path function %s; the boxed copy is heap-allocated per call",
+			exprText(arg), at.String(), fd.Name.Name)
+	}
+}
+
+// appendTarget resolves append's first argument to a simple variable.
+func appendTarget(p *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// isLocalOf reports whether obj is declared inside fd (a local, not a
+// field, parameter of another function, or package-level var).
+func isLocalOf(obj types.Object, fd *ast.FuncDecl) bool {
+	return obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() < fd.End()
+}
+
+// presizedLocals collects local slice variables initialized with a
+// sized or capacity-carrying make — appends to those grow into
+// reserved space.
+func presizedLocals(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.ObjectOf(fun).(*types.Builtin); ok && b.Name() == "make" {
+					if _, isSlice := p.TypeOf(call.Args[0]).Underlying().(*types.Slice); isSlice {
+						if obj := p.Info.ObjectOf(id); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns a variable the function literal captures from
+// its enclosing scope, or nil when the literal is self-contained
+// (self-contained literals can stay on the stack).
+func capturedVar(p *Pass, lit *ast.FuncLit) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level vars are not captured, they are referenced
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			found = v
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isStringType reports whether t's core type is a string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

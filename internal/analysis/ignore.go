@@ -37,33 +37,49 @@ func (ix ignoreIndex) add(analyzer, file string, line int) {
 	lines[line] = true
 }
 
+// A Waiver is one //vet:ignore directive found in a loaded package,
+// surfaced by `dfpc-vet -waivers` so every sanctioned exception in the
+// tree is enumerable with its justification. A waiver with an empty
+// Reason is a policy violation (check.sh fails on it): a suppression
+// that cannot say why it exists should be a fix instead.
+type Waiver struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
 // parseIgnore splits a //vet:ignore comment into the analyzer names it
-// names; ok is false when the comment is not an ignore directive.
-func parseIgnore(text string) (names []string, ok bool) {
+// names and the free-text reason after them; ok is false when the
+// comment is not an ignore directive.
+func parseIgnore(text string) (names []string, reason string, ok bool) {
 	rest, found := strings.CutPrefix(text, ignorePrefix)
 	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-		return nil, false
+		return nil, "", false
 	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil, false
+	rest = strings.TrimSpace(rest)
+	nameField, reason, _ := strings.Cut(rest, " ")
+	if nameField == "" {
+		return nil, "", false
 	}
-	for _, n := range strings.Split(fields[0], ",") {
+	for _, n := range strings.Split(nameField, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	return names, strings.TrimSpace(reason), len(names) > 0
 }
 
 // buildIgnoreIndex scans every comment in the files for //vet:ignore
-// directives.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+// directives, returning both the suppression index and the flat waiver
+// list for reporting.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Waiver) {
 	ix := ignoreIndex{}
+	var waivers []Waiver
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseIgnore(c.Text)
+				names, reason, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
@@ -72,8 +88,18 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 					ix.add(name, pos.Filename, pos.Line)
 					ix.add(name, pos.Filename, pos.Line+1)
 				}
+				waivers = append(waivers, Waiver{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: names,
+					Reason:    reason,
+				})
 			}
 		}
 	}
-	return ix
+	return ix, waivers
 }
+
+// Waivers returns the //vet:ignore directives found in the package's
+// files, in file order.
+func (p *Package) Waivers() []Waiver { return p.waivers }

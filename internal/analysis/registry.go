@@ -18,6 +18,10 @@ var All = []*Analyzer{
 	Parasafe,
 	Spanend,
 	Atomicwrite,
+	Maporder,
+	Nondeterm,
+	Hotalloc,
+	Atomicmix,
 }
 
 // Lookup returns the registered analyzer with the given name.

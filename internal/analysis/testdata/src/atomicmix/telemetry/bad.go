@@ -1,0 +1,43 @@
+// Positive fixtures: mixed atomic/plain access and copied locks in a
+// package named telemetry (the analyzer's scope).
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits int64
+}
+
+// incr establishes hits as an atomic field.
+func (c *counters) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot reads the same field plainly: a torn read races incr.
+func snapshot(c *counters) int64 {
+	return c.hits // want "plain access races the atomic ones"
+}
+
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+}
+
+// size copies the registry (and its mutex) into the receiver.
+func (r Registry) size() int { // want "receiver of size passes .*Registry by value"
+	return len(r.names)
+}
+
+// byValue copies it through a parameter.
+func byValue(r Registry) int { // want "parameter of byValue passes .*Registry by value"
+	return len(r.names)
+}
+
+// fork copies it through a dereference assignment.
+func fork(r *Registry) int {
+	snapshot := *r // want "assignment copies .*Registry by value"
+	return len(snapshot.names)
+}

@@ -1,0 +1,39 @@
+// Negative fixtures: typed atomics, consistently-locked fields, and
+// pointer-shared lock carriers stay silent.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	val atomic.Int64 // typed atomics cannot be accessed plainly
+	mu  sync.Mutex
+	max int64 // always under mu, never touched atomically
+}
+
+func (g *gauge) set(v int64) {
+	g.val.Store(v)
+	g.mu.Lock()
+	if v > g.max {
+		g.max = v
+	}
+	g.mu.Unlock()
+}
+
+func (g *gauge) peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// newGauge shares the lock carrier by pointer from birth.
+func newGauge() *gauge {
+	return &gauge{}
+}
+
+// reset takes the pointer, so no lock state is forked.
+func reset(g *gauge) {
+	g.val.Store(0)
+}

@@ -1,0 +1,49 @@
+// Positive fixtures: per-call allocation shapes inside the predict
+// cone. Predict and ExplainPredict are roots by name; describe and
+// explainRow are pulled in by reachability.
+package hot
+
+import "fmt"
+
+type Model struct{ labels []string }
+
+func sink(v any) {}
+
+// Predict formats per call and fans out to the helpers below.
+func Predict(m *Model, row []int32) string {
+	key := fmt.Sprintf("r%d", len(row)) // want "fmt.Sprintf in hot-path function Predict"
+	_ = key
+	_ = topK(m, row)
+	return describe(m, row)
+}
+
+// describe concentrates the loop-allocation shapes.
+func describe(m *Model, row []int32) string {
+	name := m.labels[0] + ":" // want "string concatenation in hot-path function describe"
+	counts := map[int32]int{} // want "map literal in hot-path function describe"
+	var out []int32
+	for _, v := range row {
+		counts[v]++
+		out = append(out, v)   // want "append to un-presized local slice out"
+		buf := make([]byte, 8) // want "make.slice. inside a loop"
+		pair := []int32{v, v}  // want "slice literal inside a loop"
+		_, _ = buf, pair
+	}
+	_ = counts
+	return name
+}
+
+// ExplainPredict boxes a concrete int and builds a capturing closure.
+func ExplainPredict(m *Model, row []int32) int {
+	sink(len(row)) // want "boxes a non-pointer int into an interface"
+	return explainRow(m, row)()
+}
+
+func explainRow(m *Model, row []int32) func() int {
+	total := 0
+	f := func() int { // want "closure in hot-path function explainRow captures total"
+		total += len(row)
+		return total
+	}
+	return f
+}

@@ -1,0 +1,34 @@
+// Negative fixtures: the same shapes are legal off the hot path, and
+// the disciplined variants are legal on it.
+package hot
+
+// Train is cold: fit-time allocation is exactly where maps and
+// formatting belong.
+func Train(rows [][]int32) map[int32]int {
+	counts := map[int32]int{}
+	for _, r := range rows {
+		for _, v := range r {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// topK is hot (Predict calls it) but presizes its output, so the
+// appends grow into reserved space.
+func topK(m *Model, row []int32) []int32 {
+	out := make([]int32, 0, len(row))
+	for _, v := range row {
+		out = append(out, v)
+	}
+	tag(m, out)
+	return out
+}
+
+// tag is hot but only passes pointers and constants to the interface
+// sink: pointers fit in the interface word and constants are interned.
+func tag(m *Model, out []int32) {
+	const label = "top" + "K"
+	sink(m)
+	sink(label)
+}

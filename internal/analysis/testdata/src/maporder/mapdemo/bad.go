@@ -1,0 +1,58 @@
+// Positive fixtures: map iteration order escaping unsorted — every
+// escape route the analyzer knows.
+package mapdemo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// keysOf collects map keys and never sorts them: the classic bug.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "via append and no sort of out follows"
+	}
+	return out
+}
+
+// stream leaks the order to whoever is on the other end of the channel.
+func stream(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "escapes on a channel send"
+	}
+}
+
+// anyKey returns whichever entry the runtime visits first.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want "selects a run-dependent entry"
+	}
+	return ""
+}
+
+// dump writes lines in a different order every run.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "escapes through fmt.Fprintf"
+	}
+}
+
+// emit funnels the order through a writer method instead of fmt.
+func emit(sb *strings.Builder, m map[int]string) {
+	for _, v := range m {
+		sb.WriteString(v) // want "escapes through WriteString"
+	}
+}
+
+// derived shows taint propagating through an intermediate assignment:
+// the line is built from k/v, so appending it leaks the order too.
+func derived(m map[string]int) []string {
+	var lines []string
+	for k, v := range m {
+		line := fmt.Sprintf("%s=%d", k, v)
+		lines = append(lines, line) // want "via append and no sort of lines follows"
+	}
+	return lines
+}

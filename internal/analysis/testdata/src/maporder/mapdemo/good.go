@@ -1,0 +1,53 @@
+// Negative fixtures: the sanctioned shapes — collect-then-sort and
+// order-independent work stay silent.
+package mapdemo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// sortedKeys is the canonical fix: collect, then sort before use.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// total does order-independent accumulation; no order escapes.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// invert writes into another keyed structure — order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// dumpSorted iterates the sorted key slice, not the map.
+func dumpSorted(w io.Writer, m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// bareCount ranges without variables: nothing order-dependent in scope.
+func bareCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

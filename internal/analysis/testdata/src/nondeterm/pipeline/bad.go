@@ -1,0 +1,37 @@
+// Positive fixtures: nondeterminism sources inside the determinism
+// domain. Fit is a root by name; shuffle and mine are pulled into the
+// domain by reachability.
+package pipeline
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Model struct{ seed int64 }
+
+// Fit seeds from the wall clock and launches an untracked goroutine.
+func Fit(rows [][]int32) *Model {
+	m := &Model{}
+	m.seed = time.Now().UnixNano() // want "time.Now inside the determinism domain"
+	shuffle(rows)
+	go mine(rows) // want "goroutine launched inside the determinism domain"
+	return m
+}
+
+// shuffle is reachable from Fit, so its rand use is in the domain.
+func shuffle(rows [][]int32) {
+	rand.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] }) // want "rand.Shuffle inside the determinism domain"
+}
+
+// mine is reached through the go statement; its select races two live
+// channels, so which case fires depends on scheduling.
+func mine(rows [][]int32) {
+	done := make(chan struct{})
+	errs := make(chan error)
+	select { // want "select with 2 racing cases inside the determinism domain"
+	case <-done:
+	case <-errs:
+	}
+	_ = rows
+}

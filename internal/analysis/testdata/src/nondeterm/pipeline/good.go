@@ -1,0 +1,39 @@
+// Negative fixtures: the same constructs outside the domain, and the
+// deterministic shapes that are legal inside it.
+package pipeline
+
+import (
+	"sort"
+	"time"
+)
+
+// Score is not a determinism root and nothing in the domain calls it,
+// so timing it is fine.
+func Score(m *Model, row []int32) time.Duration {
+	start := time.Now()
+	sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	return time.Since(start)
+}
+
+// FitContext is a root; everything below it stays deterministic.
+func FitContext(rows [][]int32) *Model {
+	order(rows)
+	v, _ := drain(nil)
+	return &Model{seed: int64(v)}
+}
+
+// order sorts with an explicit comparator — deterministic by design.
+func order(rows [][]int32) {
+	sort.Slice(rows, func(i, j int) bool { return len(rows[i]) < len(rows[j]) })
+}
+
+// drain has one live case plus default: no race, just a non-blocking
+// poll with a deterministic fallthrough.
+func drain(ch <-chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

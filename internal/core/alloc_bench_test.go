@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+)
+
+// Measured allocation baselines for Predict on the XOR pipeline. The
+// per-row marginal cost (feature vector + item buffer + SVM scoring
+// scratch) is what the hotalloc analyzer guards statically; the batch
+// fixed cost covers the output slice, context, guard, and telemetry
+// span set up once per call. Pinning them dynamically catches a
+// regression that slips past the analyzer (e.g. through an unanalyzed
+// dependency). Current baselines: 5 marginal, 40 fixed. Raise only
+// with a reason in the diff.
+const (
+	predictRowAllocBudget   = 6
+	predictBatchAllocBudget = 48
+)
+
+func fitXORPipeline(tb testing.TB) (*Pipeline, []int, int) {
+	tb.Helper()
+	d := xorDataset(80)
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	p := NewPatFS(SVMLinear, 0.2)
+	if err := p.Fit(d, rows); err != nil {
+		tb.Fatal(err)
+	}
+	return p, rows, d.NumRows()
+}
+
+func TestPredictAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget holds only in non-race builds")
+	}
+	p, rows, n := fitXORPipeline(t)
+	d := xorDataset(80)
+	one := []int{0}
+	single := testing.AllocsPerRun(200, func() {
+		if _, err := p.Predict(d, one); err != nil {
+			t.Fatal(err)
+		}
+	})
+	batch := testing.AllocsPerRun(200, func() {
+		if _, err := p.Predict(d, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	marginal := (batch - single) / float64(n-1)
+	if marginal > predictRowAllocBudget {
+		t.Errorf("Predict allocates %.2f times per additional row, budget is %d", marginal, predictRowAllocBudget)
+	}
+	if single > predictBatchAllocBudget {
+		t.Errorf("single-row Predict allocates %.1f times, batch budget is %d", single, predictBatchAllocBudget)
+	}
+}
+
+func BenchmarkPredictAllocs(b *testing.B) {
+	p, rows, _ := fitXORPipeline(b)
+	d := xorDataset(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(d, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

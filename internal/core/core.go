@@ -286,6 +286,7 @@ func (p *Pipeline) stageDeadline() time.Time {
 	if p.cfg.StageTimeout <= 0 {
 		return time.Time{}
 	}
+	//vet:ignore nondeterm wall-clock deadline arming; affects only cancellation, never reported results
 	return time.Now().Add(p.cfg.StageTimeout)
 }
 
@@ -955,6 +956,7 @@ func (p *Pipeline) PredictContext(ctx context.Context, d *dataset.Dataset, rows 
 	if err := p.cfg.Faults.Hit(faults.CorePredict); err != nil {
 		return nil, fmt.Errorf("core: predict: %w", err)
 	}
+	//vet:ignore hotalloc one batch-level telemetry attribute per Predict call, amortized over all rows
 	sp := p.cfg.Obs.Start("predict").Attr("rows", len(rows))
 	defer sp.End()
 	test := d.Subset(rows)

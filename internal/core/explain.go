@@ -98,7 +98,7 @@ func (p *Pipeline) PredictExplain(ctx context.Context, d *dataset.Dataset, rows 
 					ex.ItemNames = append(ex.ItemNames, p.space.ItemName(int(f)))
 				}
 			} else {
-				fired = append(fired, int(f) - p.numItems)
+				fired = append(fired, int(f)-p.numItems)
 			}
 		}
 		switch m := p.model.(type) {

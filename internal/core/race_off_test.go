@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates on its own, so alloc budgets only hold in
+// non-race builds.
+const raceEnabled = false

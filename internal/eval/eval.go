@@ -126,6 +126,7 @@ func (e FoldError) Error() string {
 	if e.Panicked {
 		kind = "panic"
 	}
+	//vet:ignore hotalloc error formatting runs only on the failure path
 	return fmt.Sprintf("fold %d %s: %v", e.Fold, kind, e.Err)
 }
 
@@ -220,6 +221,7 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 		return out
 	}
 	cp, _ := p.(ContextPipeline)
+	//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 	t0 := time.Now()
 	var err error
 	if cp != nil {
@@ -231,7 +233,9 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 		out.err = fmt.Errorf("fit: %w", err)
 		return out
 	}
+	//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 	out.trainTime = time.Since(t0)
+	//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 	t0 = time.Now()
 	var pred []int
 	if cp != nil {
@@ -243,6 +247,7 @@ func runFold(ctx context.Context, p Pipeline, d *dataset.Dataset, train, test []
 		out.err = fmt.Errorf("predict: %w", err)
 		return out
 	}
+	//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 	out.testTime = time.Since(t0)
 	truth := make([]int, len(test))
 	for i, r := range test {
@@ -392,8 +397,10 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 			train, test := dataset.TrainTestFromFolds(folds, f)
 			sp := fo.Start("cv-fold").
 				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
+			//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 			foldStart := time.Now()
 			out := runFold(ctx, fp, d, train, test, opt.Faults)
+			//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 			out.elapsed = time.Since(foldStart)
 			out = persist(f, out)
 			if out.err != nil {
@@ -434,8 +441,10 @@ func CrossValidateContext(ctx context.Context, p Pipeline, d *dataset.Dataset, k
 			train, test := dataset.TrainTestFromFolds(folds, f)
 			sp := opt.Obs.Start("cv-fold").
 				Attr("fold", f+1).Attr("train", len(train)).Attr("test", len(test))
+			//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 			foldStart := time.Now()
 			out := runFold(ctx, p, d, train, test, opt.Faults)
+			//vet:ignore nondeterm fold wall-time telemetry; timings are reported, never byte-compared
 			out.elapsed = time.Since(foldStart)
 			out = persist(f, out)
 			if out.err != nil {

@@ -123,7 +123,8 @@ func (p *poolPipeline) Fit(d *dataset.Dataset, rows []int) error {
 }
 
 func (p *poolPipeline) fv(tx []int32) []int32 {
-	out := append([]int32(nil), tx...)
+	out := make([]int32, 0, len(tx)+len(p.patterns))
+	out = append(out, tx...)
 	for j := range p.patterns {
 		if patternMatches(tx, p.patterns[j].Items) {
 			out = append(out, int32(p.numItems+j))
@@ -234,7 +235,8 @@ func (p *topKPipeline) Fit(d *dataset.Dataset, rows []int) error {
 }
 
 func (p *topKPipeline) fv(tx []int32) []int32 {
-	out := append([]int32(nil), tx...)
+	out := make([]int32, 0, len(tx)+len(p.patterns))
+	out = append(out, tx...)
 	for j := range p.patterns {
 		if patternMatches(tx, p.patterns[j].Items) {
 			out = append(out, int32(p.numItems+j))

@@ -221,6 +221,7 @@ func (r *Registry) Hit(point string) error {
 		case a.nth > 0:
 			trigger = a.nth == n
 		case a.prob > 0:
+			//vet:ignore nondeterm r.rng is seeded from the registry config; draws replay identically run to run
 			trigger = r.rng.Float64() < a.prob
 		}
 		if !trigger {

@@ -11,7 +11,7 @@ package graphmining
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected labelled edge between vertex indices.
@@ -149,27 +149,35 @@ func ContainsSubgraph(g *Graph, pattern *Graph) bool {
 	used := make([]bool, g.NumVertices())
 
 	var match func(step int) bool
+	//vet:ignore hotalloc single closure environment per containment test, amortized over the exponential match search
 	match = func(step int) bool {
 		if step == pn {
 			return true
 		}
 		pv := order[step]
 		// Candidate graph vertices: neighbours of an already-assigned
-		// pattern neighbour (or all vertices for the root).
-		var candidates []int
-		connected := false
+		// pattern neighbour (or all vertices for the root). Find the
+		// anchor edge first so the candidate slice can be presized.
+		anchor := -1
+		var anchorLabel int32
 		for _, pe := range pAdj[pv] {
 			if assigned[pe.to] >= 0 {
-				connected = true
-				for _, ge := range gAdj[assigned[pe.to]] {
-					if ge.label == pe.label {
-						candidates = append(candidates, ge.to)
-					}
-				}
+				anchor = assigned[pe.to]
+				anchorLabel = pe.label
 				break
 			}
 		}
-		if !connected {
+		var candidates []int
+		if anchor >= 0 {
+			ga := gAdj[anchor]
+			candidates = make([]int, 0, len(ga))
+			for _, ge := range ga {
+				if ge.label == anchorLabel {
+					candidates = append(candidates, ge.to)
+				}
+			}
+		} else {
+			candidates = make([]int, 0, len(g.VertexLabels))
 			for v := range g.VertexLabels {
 				candidates = append(candidates, v)
 			}
@@ -218,18 +226,20 @@ func bfsOrder(g *Graph, a [][]adj) []int {
 	n := g.NumVertices()
 	order := make([]int, 0, n)
 	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	neigh := make([]adj, 0, n)
 	for start := 0; start < n; start++ {
 		if seen[start] {
 			continue
 		}
-		queue := []int{start}
+		queue = append(queue[:0], start)
 		seen[start] = true
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
 			order = append(order, v)
-			neigh := append([]adj(nil), a[v]...)
-			sort.Slice(neigh, func(i, j int) bool { return neigh[i].to < neigh[j].to })
+			neigh = append(neigh[:0], a[v]...)
+			slices.SortFunc(neigh, func(x, y adj) int { return x.to - y.to })
 			for _, e := range neigh {
 				if !seen[e.to] {
 					seen[e.to] = true

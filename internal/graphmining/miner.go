@@ -3,6 +3,7 @@ package graphmining
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -166,6 +167,11 @@ func extensions(g *Graph, vertexLabels, edgeLabels map[int32]bool) []*Graph {
 		}
 		existing[pair{a, b}] = true
 	}
+	// Candidate order must not depend on map iteration order: it decides
+	// the level expansion sequence and, under a pattern budget, which
+	// patterns get mined at all.
+	vls := sortedLabels(vertexLabels)
+	els := sortedLabels(edgeLabels)
 	var out []*Graph
 	n := g.NumVertices()
 	// Close a cycle between existing vertices.
@@ -174,7 +180,7 @@ func extensions(g *Graph, vertexLabels, edgeLabels map[int32]bool) []*Graph {
 			if existing[pair{a, b}] {
 				continue
 			}
-			for le := range edgeLabels {
+			for _, le := range els {
 				ng := cloneGraph(g)
 				ng.Edges = append(ng.Edges, Edge{From: a, To: b, Label: le})
 				out = append(out, ng)
@@ -183,8 +189,8 @@ func extensions(g *Graph, vertexLabels, edgeLabels map[int32]bool) []*Graph {
 	}
 	// Grow a new vertex.
 	for a := 0; a < n; a++ {
-		for lv := range vertexLabels {
-			for le := range edgeLabels {
+		for _, lv := range vls {
+			for _, le := range els {
 				ng := cloneGraph(g)
 				ng.VertexLabels = append(ng.VertexLabels, lv)
 				ng.Edges = append(ng.Edges, Edge{From: a, To: n, Label: le})
@@ -192,6 +198,16 @@ func extensions(g *Graph, vertexLabels, edgeLabels map[int32]bool) []*Graph {
 			}
 		}
 	}
+	return out
+}
+
+// sortedLabels fixes an iteration order for a label set.
+func sortedLabels(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	slices.Sort(out)
 	return out
 }
 

@@ -92,6 +92,7 @@ const memCheckEvery = 16
 func New(ctx context.Context, lim Limits) *Guard {
 	deadline := lim.Deadline
 	if lim.Timeout > 0 {
+		//vet:ignore nondeterm wall-clock deadline arming; affects only cancellation, never reported results
 		if t := time.Now().Add(lim.Timeout); deadline.IsZero() || t.Before(deadline) {
 			deadline = t
 		}
@@ -154,6 +155,7 @@ func (g *Guard) CheckNow() error {
 		default:
 		}
 	}
+	//vet:ignore nondeterm deadline poll; affects only cancellation, never reported results
 	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
 		return fmt.Errorf("%w (deadline %s)", ErrDeadline, g.deadline.Format(time.RFC3339Nano))
 	}

@@ -7,7 +7,7 @@ package knn
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Distance selects the dissimilarity measure between binary rows.
@@ -115,11 +115,17 @@ func (m *Model) Predict(x []int32) int {
 	for i, tr := range m.x {
 		dists[i] = nd{m.distance(tr, x), i}
 	}
-	sort.Slice(dists, func(i, j int) bool {
-		if dists[i].d != dists[j].d {
-			return dists[i].d < dists[j].d
+	// slices.SortFunc with a capture-free comparator: sort.Slice would
+	// box dists into an interface and heap-allocate the closure on
+	// every Predict call.
+	slices.SortFunc(dists, func(a, b nd) int {
+		if a.d != b.d {
+			if a.d < b.d {
+				return -1
+			}
+			return 1
 		}
-		return dists[i].row < dists[j].row
+		return a.row - b.row
 	})
 	k := m.cfg.K
 	if k > len(dists) {

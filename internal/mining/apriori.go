@@ -37,15 +37,22 @@ func apriori(tx [][]int32, opt Options) ([]Pattern, error) {
 			counts[it]++
 		}
 	}
+	// Emit in item order, not map order: under a MaxPatterns budget the
+	// truncation below decides which patterns survive, so the emission
+	// order is part of the determinism contract.
+	items := make([]int32, 0, len(counts))
+	for it := range counts {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	var level [][]int32
-	for it, c := range counts {
-		if c >= opt.MinSupport {
+	for _, it := range items {
+		if c := counts[it]; c >= opt.MinSupport {
 			level = append(level, []int32{it})
 			out = append(out, Pattern{Items: []int32{it}, Support: c})
 			emitted.Inc()
 		}
 	}
-	sortItemsets(level)
 	ss.candidates.add(1, int64(len(counts)))
 	ss.infrequent.add(1, int64(len(counts)-len(level)))
 	ss.emitted.add(1, int64(len(level)))

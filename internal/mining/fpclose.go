@@ -135,12 +135,20 @@ func (m *closeMiner) mine(tree *fpTree, prefix []int32) error {
 				condCounts[cit] += condW[i]
 			}
 		}
+		// Append closure items in item order, not map order: the item
+		// sequence is part of the pattern's identity downstream
+		// (subsumption keys, emitted output).
 		merged := map[int32]bool{}
-		for cit, c := range condCounts {
-			if c == support {
-				candidate = append(candidate, cit)
-				merged[cit] = true
+		mergedItems := make([]int32, 0, len(condCounts))
+		for cit := range condCounts {
+			if condCounts[cit] == support {
+				mergedItems = append(mergedItems, cit)
 			}
+		}
+		sort.Slice(mergedItems, func(i, j int) bool { return mergedItems[i] < mergedItems[j] })
+		for _, cit := range mergedItems {
+			candidate = append(candidate, cit)
+			merged[cit] = true
 		}
 
 		m.ss.candidates.inc(len(candidate))

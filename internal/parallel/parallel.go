@@ -78,6 +78,7 @@ type PanicError struct {
 }
 
 func (e *PanicError) Error() string {
+	//vet:ignore hotalloc panic report formatted only on the failure path
 	return fmt.Sprintf("parallel: index %d panicked: %v", e.Index, e.Value)
 }
 
@@ -139,6 +140,7 @@ func ForEach(w Workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
+		//vet:ignore nondeterm this IS the deterministic pool: workers race only over the atomic index; outputs are index-partitioned
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {

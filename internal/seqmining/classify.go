@@ -157,13 +157,15 @@ func (c *Classifier) Fit(db []Sequence, y []int, numClasses int) error {
 // featureVector encodes a sequence as sorted binary features: distinct
 // events present, then matched subsequence patterns.
 func (c *Classifier) featureVector(s Sequence) []int32 {
-	present := map[int32]bool{}
+	// A dense presence slice instead of a map: one allocation sized by
+	// the event vocabulary, no per-entry bucket churn on the hot path.
+	present := make([]bool, c.numEvents)
 	for _, e := range s {
 		if int(e) < c.numEvents {
 			present[e] = true
 		}
 	}
-	out := make([]int32, 0, len(present)+len(c.patterns))
+	out := make([]int32, 0, c.numEvents+len(c.patterns))
 	for e := int32(0); int(e) < c.numEvents; e++ {
 		if present[e] {
 			out = append(out, e)
