@@ -23,6 +23,7 @@ import (
 	"dfpc/internal/durable"
 	"dfpc/internal/eval"
 	"dfpc/internal/faults"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
 )
@@ -81,7 +82,14 @@ func chaosRun(t *testing.T, r *faults.Registry, learner Learner) error {
 	for i := range rows {
 		rows[i] = i
 	}
+	// Drift-tracked predict plus a report snapshot (modelobs.snapshot).
+	tr := modelobs.NewTracker(modelobs.TrackerConfig{WindowSize: 8})
+	tr.SetFaults(r)
+	clf.SetDriftTracker(tr)
 	if _, err := clf.Predict(d, rows); err != nil {
+		return err
+	}
+	if _, err := tr.Report(); err != nil {
 		return err
 	}
 	j, err := telemetry.OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"), "chaos", "rid")

@@ -98,6 +98,11 @@ func main() {
 	}
 	defer ses.Close()
 	o.SetLogger(ses.Log) // surface span-leak warnings
+	if tf.DriftEnabled() {
+		// The shared telemetry flag set carries the drift flags, but
+		// mining emits no predictions to score against a baseline.
+		ses.Log.Warn("-drift-warn/-drift-window have no effect: dfpc-mine produces no prediction stream")
+	}
 
 	var fr *faults.Registry
 	if *faultSpec != "" {

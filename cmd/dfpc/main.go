@@ -28,6 +28,7 @@ import (
 	"dfpc/internal/durable"
 	"dfpc/internal/eval"
 	"dfpc/internal/faults"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
 	"dfpc/internal/telemetry"
@@ -51,6 +52,8 @@ func main() {
 		explain   = flag.Int("explain", 0, "print the top-N selected patterns; with -load, print per-prediction explanations for the first N rows as JSONL")
 		saveTo    = flag.String("save", "", "after evaluation, train on the full dataset and save the model here")
 		loadFrom  = flag.String("load", "", "load a saved model and predict the dataset (no training)")
+		driftTo   = flag.String("drift-report", "", "write the final drift report (the /drift payload) as JSON here; needs -drift-warn or -drift-window")
+		dumpCSV   = flag.String("dump-csv", "", "write the loaded dataset as CSV here and exit (for deriving shifted test splits)")
 		verbose   = flag.Bool("verbose", false, "print per-fold progress and a stage-timing tree")
 		reportTo  = flag.String("report", "", "write a JSON RunReport of the evaluation here")
 		traceTo   = flag.String("tracejson", "", "write a Chrome trace_event JSON timeline here (open in ui.perfetto.dev)")
@@ -104,8 +107,50 @@ func main() {
 		fail(err)
 	}
 
+	if *dumpCSV != "" {
+		if err := durable.WriteAtomic(*dumpCSV, nil, func(w io.Writer) error {
+			return dfpc.SaveCSV(w, d)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("dataset written to %s\n", *dumpCSV)
+		return
+	}
+
+	var fr *faults.Registry
+	if *faultSpec != "" {
+		fr = faults.New(*faultSeed)
+		if err := fr.Parse(*faultSpec); err != nil {
+			fail(err)
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var o *dfpc.Observer
+	if *verbose || *reportTo != "" || *traceTo != "" || tf.NeedsObserver() {
+		o = dfpc.NewObserver()
+	}
+	ses, err = tf.Start(ctx, "dfpc", o, *verbose)
+	if err != nil {
+		fail(err)
+	}
+	defer ses.Close()
+	o.SetLogger(ses.Log) // surface span-leak warnings
+	ses.SetFaults(fr)
+
+	// First SIGINT/SIGTERM cancels the run (partial stats, flushed
+	// journal, checkpoints intact); a second hard-exits with 130.
+	ctx, stopSignals := telemetry.HandleSignals(ctx, ses.Log)
+	defer stopSignals()
+
 	if *loadFrom != "" {
-		if err := predictOnly(*loadFrom, d, *explain); err != nil {
+		if err := predictOnly(ctx, *loadFrom, d, *explain, &tf, o, ses, fr, *driftTo); err != nil {
 			fail(err)
 		}
 		return
@@ -154,40 +199,20 @@ func main() {
 	}
 
 	clf := dfpc.NewClassifier(fam, lrn, opts...)
-
-	var fr *faults.Registry
-	if *faultSpec != "" {
-		fr = faults.New(*faultSeed)
-		if err := fr.Parse(*faultSpec); err != nil {
-			fail(err)
-		}
+	if fr != nil {
 		clf.SetFaults(fr)
 	}
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	var o *dfpc.Observer
-	if *verbose || *reportTo != "" || *traceTo != "" || tf.NeedsObserver() {
-		o = dfpc.NewObserver()
-	}
-	ses, err = tf.Start(ctx, "dfpc", o, *verbose)
-	if err != nil {
-		fail(err)
-	}
-	defer ses.Close()
 	clf.SetLogger(ses.Log)
-	o.SetLogger(ses.Log) // surface span-leak warnings
-	ses.SetFaults(fr)
 
-	// First SIGINT/SIGTERM cancels the run (partial stats, flushed
-	// journal, checkpoints intact); a second hard-exits with 130.
-	ctx, stopSignals := telemetry.HandleSignals(ctx, ses.Log)
-	defer stopSignals()
+	// CV folds share the tracker through the config clone; the first
+	// fitted fold binds the baseline, the later folds' predictions
+	// stream into the same sketch ring.
+	drift := tf.NewDriftTracker(o, ses.Log)
+	if drift != nil {
+		drift.SetFaults(fr)
+		clf.SetDriftTracker(drift)
+		ses.EnableDrift(drift)
+	}
 
 	ckDir := *checkpointTo
 	if *resumeFrom != "" {
@@ -328,6 +353,9 @@ func main() {
 		Warnings:    warnings,
 		Audits:      audits,
 	})
+	if err := emitDrift(drift, d.Name, *driftTo, fr, ses); err != nil {
+		fail(err)
+	}
 	if *saveTo != "" {
 		rows := make([]int, d.NumRows())
 		for i := range rows {
@@ -349,8 +377,12 @@ func main() {
 // dataset row. With explainN > 0 it instead prints per-prediction
 // explanations for the first N rows, one JSON object per line: the
 // fired patterns with their measures and SVM weight contributions (or
-// the C4.5 decision path).
-func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
+// the C4.5 decision path). The drift flags score the prediction stream
+// against the model's fit-time baseline: live on /drift when -listen is
+// set, as a journal record, and as a JSON file via -drift-report.
+func predictOnly(ctx context.Context, path string, d *dfpc.Dataset, explainN int,
+	tf *telemetry.Flags, o *dfpc.Observer, ses *telemetry.Session,
+	fr *faults.Registry, driftTo string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -360,6 +392,23 @@ func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 	if err != nil {
 		return err
 	}
+	if fr != nil {
+		clf.SetFaults(fr)
+	}
+	clf.SetLogger(ses.Log)
+	drift := tf.NewDriftTracker(o, ses.Log)
+	if drift != nil {
+		if clf.Baseline() == nil {
+			// A v1 artifact predates fit-time baselines; there is nothing
+			// to score live predictions against.
+			ses.Log.Warn("loaded model carries no baseline (saved by a pre-drift build); drift tracking disabled")
+			drift = nil
+		} else {
+			drift.SetFaults(fr)
+			clf.SetDriftTracker(drift)
+			ses.EnableDrift(drift)
+		}
+	}
 	if explainN > 0 {
 		if explainN > d.NumRows() {
 			explainN = d.NumRows()
@@ -368,7 +417,7 @@ func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 		for i := range rows {
 			rows[i] = i
 		}
-		exps, err := clf.PredictExplain(context.Background(), d, rows)
+		exps, err := clf.PredictExplain(ctx, d, rows)
 		if err != nil {
 			return err
 		}
@@ -384,7 +433,7 @@ func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 	for i := range rows {
 		rows[i] = i
 	}
-	pred, err := clf.Predict(d, rows)
+	pred, err := clf.PredictContext(ctx, d, rows)
 	if err != nil {
 		return err
 	}
@@ -397,6 +446,37 @@ func predictOnly(path string, d *dfpc.Dataset, explainN int) error {
 	}
 	fmt.Fprintf(os.Stderr, "accuracy vs labels in file: %.2f%%\n",
 		100*float64(correct)/float64(len(pred)))
+	return emitDrift(drift, d.Name, driftTo, fr, ses)
+}
+
+// emitDrift publishes a drift-tracked run's final report: a summary
+// line on stderr, a journal record of kind "drift", and (with
+// -drift-report) an atomic JSON artifact matching the /drift payload.
+// A nil tracker — drift flags unset, or the model had no baseline —
+// is a no-op.
+func emitDrift(drift *modelobs.Tracker, dataset, path string,
+	fr *faults.Registry, ses *telemetry.Session) error {
+	rep, err := drift.Report()
+	if err != nil {
+		return err
+	}
+	if rep == nil || !rep.Bound {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "drift: max PSI %.4f over %d predictions (%d windows, %d warnings)\n",
+		rep.MaxPSI, rep.Predictions, rep.Advanced, rep.Warnings)
+	ses.Journal(telemetry.Record{Kind: "drift", Dataset: dataset, Drift: rep})
+	if path == "" {
+		return nil
+	}
+	if err := durable.WriteAtomic(path, fr, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return err
+	}
+	ses.Log.Info("drift report written", "path", path)
 	return nil
 }
 

@@ -128,7 +128,7 @@ func main() {
 	defer stopSignals()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, ses, cfg.workers); err != nil {
+		if err := runBenchJSON(*benchJSON, ses, &tf, cfg.workers); err != nil {
 			fail(err)
 		}
 		return
@@ -250,8 +250,12 @@ var benchDatasets = []string{"austral", "breast", "heart"}
 // dataset with an observer installed and writes the per-stage reports
 // (one RunReport per dataset) as a single JSON document. The output
 // seeds the repo's performance trajectory: the check.sh bench gate
-// diffs a fresh BENCH_pipeline.json against the committed one.
-func runBenchJSON(path string, ses *telemetry.Session, workers parallel.Workers) error {
+// diffs a fresh BENCH_pipeline.json against the committed one. With
+// the drift flags set, each dataset also gets its own tracker and a
+// journal record of kind "drift" (the benchmark's CV folds score
+// against the first fold's baseline — a self-drift smoke, not a
+// shifted-split measurement).
+func runBenchJSON(path string, ses *telemetry.Session, tf *telemetry.Flags, workers parallel.Workers) error {
 	type doc struct {
 		Benchmark string            `json:"benchmark"`
 		Folds     int               `json:"folds"`
@@ -270,10 +274,18 @@ func runBenchJSON(path string, ses *telemetry.Session, workers parallel.Workers)
 		o := dfpc.NewObserver()
 		clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM,
 			dfpc.WithMinSupport(minSup), dfpc.WithWorkers(int(workers)))
+		drift := tf.NewDriftTracker(o, ses.Log)
+		if drift != nil {
+			clf.SetDriftTracker(drift)
+			ses.EnableDrift(drift)
+		}
 		res, err := dfpc.CrossValidateContext(context.Background(), clf, d, out.Folds, 1,
 			dfpc.CVOptions{Obs: o, Workers: workers})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		if drep, derr := drift.Report(); derr == nil && drep != nil && drep.Bound {
+			ses.Journal(telemetry.Record{Kind: "drift", Dataset: name, Drift: drep})
 		}
 		rep := o.Report(name)
 		out.Runs = append(out.Runs, rep)

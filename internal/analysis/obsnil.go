@@ -12,12 +12,14 @@ import (
 // set is the original contract; telemetry extends it to the debug
 // server and session plumbing (Flags is deliberately absent — it is a
 // value-populated flag carrier, never handed around as a possibly-nil
-// pointer).
+// pointer); modelobs extends it to drift tracking, where a nil Tracker
+// is the drift-off value every Predict call threads unconditionally.
 var nilSafeTypes = map[string]map[string]bool{
 	"obs": {"Observer": true, "Span": true, "Counter": true, "Gauge": true,
 		"Histogram": true},
 	"telemetry": {"Server": true, "Session": true, "Journal": true,
 		"RunBuffer": true},
+	"modelobs": {"Tracker": true, "Baseline": true, "Sketch": true},
 }
 
 // Obsnil enforces the producer side of the instrumentation nil
@@ -29,16 +31,17 @@ var nilSafeTypes = map[string]map[string]bool{
 // off" into a panic in production.
 var Obsnil = &Analyzer{
 	Name: "obsnil",
-	Doc: "require the nil-receiver fast path on exported obs/telemetry API methods\n\n" +
+	Doc: "require the nil-receiver fast path on exported obs/telemetry/modelobs API methods\n\n" +
 		"Exported pointer-receiver methods on obs.Observer/Span/Counter/Gauge/\n" +
-		"Histogram and telemetry.Server/Session/Journal/RunBuffer must either\n" +
-		"begin with an `if recv == nil { return ... }` guard (possibly ||-joined\n" +
-		"with further conditions) or touch the receiver only through nil-safe\n" +
-		"means (nil comparisons and calls to other exported methods of these\n" +
-		"types). This keeps every call site free to pass a nil handle — the\n" +
-		"repo-wide idiom for instrumentation-off.",
+		"Histogram, telemetry.Server/Session/Journal/RunBuffer, and\n" +
+		"modelobs.Tracker/Baseline/Sketch must either begin with an\n" +
+		"`if recv == nil { return ... }` guard (possibly ||-joined with further\n" +
+		"conditions) or touch the receiver only through nil-safe means (nil\n" +
+		"comparisons and calls to other exported methods of these types). This\n" +
+		"keeps every call site free to pass a nil handle — the repo-wide idiom\n" +
+		"for instrumentation-off and drift-off.",
 	Default:  true,
-	Packages: []string{"obs", "telemetry"},
+	Packages: []string{"obs", "telemetry", "modelobs"},
 	Run:      runObsnil,
 }
 

@@ -1,0 +1,35 @@
+// Positive fixtures: a modelobs-shaped drift API whose exported
+// methods forget the nil-receiver fast path. A nil Tracker is the
+// drift-off value threaded through every Predict call, so any of these
+// would panic the moment drift tracking is left disabled.
+package modelobs
+
+type Tracker struct{ predictions int64 }
+
+// ObserveRow dereferences the receiver with no guard.
+func (t *Tracker) ObserveRow(class int) { // want "exported modelobs method ObserveRow dereferences its receiver without the nil guard"
+	t.predictions++
+	_ = class
+}
+
+type Sketch struct{ total int64 }
+
+// AndGuard uses && — a nil receiver with live=false falls through to
+// the dereference, so the guard does not qualify.
+func (s *Sketch) AndGuard(live bool) { // want "exported modelobs method AndGuard dereferences its receiver without the nil guard"
+	if s == nil && live {
+		return
+	}
+	s.total++
+}
+
+type Baseline struct{ rows int }
+
+// GuardNoReturn checks nil but keeps going, so the dereference below
+// is still reachable on a nil receiver.
+func (b *Baseline) GuardNoReturn() int { // want "exported modelobs method GuardNoReturn dereferences its receiver without the nil guard"
+	if b == nil {
+		_ = 0
+	}
+	return b.rows
+}

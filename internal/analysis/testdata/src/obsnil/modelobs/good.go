@@ -1,0 +1,42 @@
+// Negative fixtures: the nil-safe shapes the modelobs API uses.
+package modelobs
+
+// Valid guards first, then inspects: nil is simply "no baseline".
+func (b *Baseline) Valid() bool {
+	if b == nil {
+		return false
+	}
+	return b.rows > 0
+}
+
+// Rows has the canonical guard as its first statement.
+func (b *Baseline) Rows() int {
+	if b == nil {
+		return 0
+	}
+	return b.rows
+}
+
+// Observe guards with an ||-joined condition; a nil receiver always
+// takes the return.
+func (s *Sketch) Observe(class int) bool {
+	if s == nil || class < 0 {
+		return false
+	}
+	s.total++
+	return true
+}
+
+// Report guards and returns the nil-means-disabled pair.
+func (t *Tracker) Report() (int64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	return t.predictions, nil
+}
+
+// unexportedBump is out of scope: the contract covers the exported API
+// surface only.
+func (t *Tracker) unexportedBump() {
+	t.predictions++
+}

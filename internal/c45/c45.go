@@ -355,6 +355,26 @@ func (m *Model) Predict(x []int32) int {
 	return nd.class
 }
 
+// PredictConf returns the predicted class together with the leaf's
+// purity — the fraction of training rows at the deciding leaf that
+// carry the predicted class. Empty leaves (possible only on
+// degenerate trees) report confidence 0. The prediction is identical
+// to Predict's.
+func (m *Model) PredictConf(x []int32) (int, float64) {
+	nd := m.root
+	for nd.feature >= 0 {
+		if hasFeature(x, nd.feature) {
+			nd = nd.present
+		} else {
+			nd = nd.absent
+		}
+	}
+	if nd.n == 0 || nd.class >= len(nd.counts) {
+		return nd.class, 0
+	}
+	return nd.class, float64(nd.counts[nd.class]) / float64(nd.n)
+}
+
 // PredictAll predicts every row.
 func (m *Model) PredictAll(x [][]int32) []int {
 	out := make([]int, len(x))

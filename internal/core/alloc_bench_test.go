@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"dfpc/internal/modelobs"
 )
 
 // Measured allocation baselines for Predict on the XOR pipeline. The
@@ -15,6 +17,10 @@ import (
 const (
 	predictRowAllocBudget   = 6
 	predictBatchAllocBudget = 48
+	// Drift-on marginal: the drift-off row cost plus the learner's
+	// confidence scratch (svm.PredictMargin allocates its vote/score
+	// slices per call). ObserveRow itself must stay allocation-free.
+	predictRowDriftAllocBudget = 9
 )
 
 func fitXORPipeline(tb testing.TB) (*Pipeline, []int, int) {
@@ -57,9 +63,65 @@ func TestPredictAllocBudget(t *testing.T) {
 	}
 }
 
+// TestPredictDriftAllocBudget pins the drift-enabled predict path: the
+// tracker's sketch buffers are allocated once at Bind, so the marginal
+// per-row cost over the drift-off baseline is only the learner's
+// confidence scratch (PredictMargin's vote/score slices for SVM), never
+// per-row tracker state.
+func TestPredictDriftAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget holds only in non-race builds")
+	}
+	p, rows, n := fitXORPipeline(t)
+	d := xorDataset(80)
+	p.SetDriftTracker(modelobs.NewTracker(modelobs.TrackerConfig{WindowSize: 64}))
+	one := []int{0}
+	// Warm up so Bind's one-time sketch allocation is out of the loop.
+	if _, err := p.Predict(d, one); err != nil {
+		t.Fatal(err)
+	}
+	single := testing.AllocsPerRun(200, func() {
+		if _, err := p.Predict(d, one); err != nil {
+			t.Fatal(err)
+		}
+	})
+	batch := testing.AllocsPerRun(200, func() {
+		if _, err := p.Predict(d, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	marginal := (batch - single) / float64(n-1)
+	if marginal > predictRowDriftAllocBudget {
+		t.Errorf("drift-on Predict allocates %.2f times per additional row, budget is %d", marginal, predictRowDriftAllocBudget)
+	}
+	if single > predictBatchAllocBudget {
+		t.Errorf("drift-on single-row Predict allocates %.1f times, batch budget is %d", single, predictBatchAllocBudget)
+	}
+}
+
 func BenchmarkPredictAllocs(b *testing.B) {
 	p, rows, _ := fitXORPipeline(b)
 	d := xorDataset(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(d, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictDriftOn is the drift-enabled twin of
+// BenchmarkPredictAllocs; benchdiff compares the pair so a regression
+// in the tracker's ObserveRow path (which should be allocation-free)
+// shows up as a widening gap.
+func BenchmarkPredictDriftOn(b *testing.B) {
+	p, rows, _ := fitXORPipeline(b)
+	d := xorDataset(80)
+	p.SetDriftTracker(modelobs.NewTracker(modelobs.TrackerConfig{WindowSize: 64}))
+	if _, err := p.Predict(d, rows); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dfpc/internal/durable"
+	"dfpc/internal/mining"
+	"dfpc/internal/obs"
+)
+
+// updateCompat regenerates the committed v1 model fixture:
+//
+//	go test ./internal/core/ -run TestLoadV1Envelope -update-compat
+var updateCompat = flag.Bool("update-compat", false, "rewrite testdata/model_v1.dfpc from a fresh fit")
+
+const v1FixturePath = "testdata/model_v1.dfpc"
+
+// snapshotV1 is the pipelineSnapshot layout as written before snapshot
+// v2 added the Baseline field. Gob matches fields by name, so encoding
+// this struct reproduces the payload an old build would have written;
+// the fixture generated from it proves today's Load still reads it.
+type snapshotV1 struct {
+	Version  int
+	Config   Config
+	Disc     []byte
+	NumItems int
+	Patterns []mining.Pattern
+	ItemKept []bool
+	Report   []FeatureReport
+	Stats    FitStats
+	Learner  Learner
+	Model    []byte
+}
+
+// writeV1Fixture fits the XOR pipeline and serializes it under a
+// version-1 envelope with the pre-baseline snapshot layout.
+func writeV1Fixture(t *testing.T, path string) {
+	t.Helper()
+	p, _, _ := fitXORPipeline(t)
+	snap := snapshotV1{
+		Version:  1,
+		Config:   p.cfg,
+		NumItems: p.numItems,
+		Patterns: p.patterns,
+		ItemKept: p.itemKept,
+		Report:   p.report,
+		Stats:    p.Stats,
+		Learner:  p.cfg.Learner,
+	}
+	// Mirror Save's scrub of per-process recorders.
+	snap.Config.Obs = nil
+	snap.Config.Tree.Obs = nil
+	snap.Config.Log = obs.LogHandle{}
+	snap.Config.Tree.Log = obs.LogHandle{}
+	snap.Config.Faults = nil
+	snap.Config.Tree.Faults = nil
+	snap.Config.Drift = nil
+	var err error
+	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := p.model.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		t.Fatalf("model %T is not serializable", p.model)
+	}
+	if snap.Model, err = m.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Encode(f, ModelKind, 1, payload.Bytes()); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadV1Envelope pins forward compatibility with pre-baseline model
+// artifacts: a v1 envelope must load with Baseline() == nil while
+// Predict and PredictExplain keep working from the restored state.
+func TestLoadV1Envelope(t *testing.T) {
+	if *updateCompat {
+		writeV1Fixture(t, v1FixturePath)
+		t.Logf("rewrote %s", v1FixturePath)
+	}
+	raw, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update-compat): %v", err)
+	}
+	p, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Load v1 envelope: %v", err)
+	}
+	if p.Baseline() != nil {
+		t.Fatal("v1 envelope predates baselines; Baseline() must be nil")
+	}
+	d := xorDataset(80)
+	rows := allRows(d.NumRows())
+	pred, err := p.Predict(d, rows)
+	if err != nil {
+		t.Fatalf("Predict after v1 load: %v", err)
+	}
+	correct := 0
+	for i, c := range pred {
+		if c == d.Labels[i] {
+			correct++
+		}
+	}
+	if correct < len(rows)*99/100 {
+		t.Fatalf("v1 model accuracy %d/%d, want ~all (XOR is separable with pattern features)", correct, len(rows))
+	}
+	ex, err := p.PredictExplain(context.Background(), d, rows[:8])
+	if err != nil {
+		t.Fatalf("PredictExplain after v1 load: %v", err)
+	}
+	for i, e := range ex {
+		if e.Class != pred[i] {
+			t.Fatalf("PredictExplain row %d class = %d, Predict said %d", i, e.Class, pred[i])
+		}
+	}
+}
+
+// TestFitBaselineRoundTrip is the v2 counterpart: a fresh Fit computes
+// a valid baseline and Save/Load carries it through byte-for-byte
+// (gob re-encode equality, not field spot checks).
+func TestFitBaselineRoundTrip(t *testing.T) {
+	p, _, _ := fitXORPipeline(t)
+	b := p.Baseline()
+	if !b.Valid() {
+		t.Fatal("Fit should compute a valid baseline")
+	}
+	if b.Rows != 80 {
+		t.Fatalf("baseline rows = %d, want 80", b.Rows)
+	}
+	if b.NumClasses != 2 || len(b.Priors) != 2 {
+		t.Fatalf("baseline classes = %d priors = %v, want 2", b.NumClasses, b.Priors)
+	}
+	if b.NumPatterns() == 0 {
+		t.Fatal("baseline should cover the selected pattern features")
+	}
+	loaded := roundTripPipeline(t, p)
+	lb := loaded.Baseline()
+	if !lb.Valid() {
+		t.Fatal("baseline lost in round trip")
+	}
+	var want, got bytes.Buffer
+	if err := gob.NewEncoder(&want).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(&got).Encode(lb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("baseline bytes changed across Save/Load")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dfpc/internal/knn"
 	"dfpc/internal/measures"
 	"dfpc/internal/mining"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/nbayes"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
@@ -168,6 +169,15 @@ type Config struct {
 	// registries are never serialized with saved models (the type
 	// gob-encodes as nothing).
 	Faults *faults.Registry
+	// Drift, when non-nil, streams every Predict call's per-row
+	// outcome (class, confidence, fired patterns) into the
+	// model-quality drift tracker, scored against the baseline the
+	// pipeline computed at Fit time (see internal/modelobs). Nil —
+	// the default — keeps the Predict hot path on its allocation
+	// baseline. CV clones share the pointer, so a cross-validated run
+	// reports one drift stream; trackers are never serialized with
+	// saved models (the type gob-encodes as nothing).
+	Drift *modelobs.Tracker
 }
 
 // BudgetPolicy selects the response to mining's pattern-budget trip.
@@ -246,6 +256,7 @@ type Pipeline struct {
 	model    predictor
 	itemKept []bool // non-nil for Item_FS: which items stay in the space
 	report   []FeatureReport
+	baseline *modelobs.Baseline // training reference for drift scoring
 
 	// Stats from the last Fit, for reports and the scalability tables.
 	Stats FitStats
@@ -448,6 +459,7 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 	p.patterns = nil
 	p.itemKept = nil
 	p.report = nil
+	p.baseline = nil
 	p.Stats = FitStats{}
 
 	switch {
@@ -497,6 +509,9 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 		Attr("features", p.numItems+len(p.patterns))
 	err = p.learn(ctx, x, b.Labels, b.NumClasses())
 	ls.End()
+	if err == nil {
+		p.computeBaseline(b, x)
+	}
 	if err == nil && p.cfg.Log.Logger != nil {
 		p.cfg.Log.Debug("fit done",
 			slog.String("learner", p.cfg.Learner.String()),
@@ -576,6 +591,20 @@ func (p *Pipeline) Observer() *obs.Observer { return p.cfg.Obs }
 // registry consulted at this pipeline's stage boundaries. Equivalent
 // to configuring Config.Faults at construction time.
 func (p *Pipeline) SetFaults(r *faults.Registry) { p.cfg.Faults = r }
+
+// SetDriftTracker installs (or, with nil, removes) the model-quality
+// drift tracker every subsequent Predict call streams into. The
+// tracker binds to the pipeline's fit-time baseline on the first
+// tracked Predict.
+func (p *Pipeline) SetDriftTracker(t *modelobs.Tracker) { p.cfg.Drift = t }
+
+// DriftTracker returns the installed drift tracker (nil = disabled).
+func (p *Pipeline) DriftTracker() *modelobs.Tracker { return p.cfg.Drift }
+
+// Baseline returns the training reference distribution computed by
+// the last Fit, or nil before Fit and for models loaded from
+// pre-baseline (v1) artifacts.
+func (p *Pipeline) Baseline() *modelobs.Baseline { return p.baseline }
 
 // SetLogger installs (or, with nil, removes) the structured logger that
 // receives this pipeline's stage records and degradation warnings.
@@ -972,6 +1001,23 @@ func (p *Pipeline) PredictContext(ctx context.Context, d *dataset.Dataset, rows 
 		return nil, fmt.Errorf("core: test item space %d != train %d", b.NumItems(), p.numItems)
 	}
 	out := make([]int, len(rows))
+	if t := p.cfg.Drift; t != nil && p.baseline.Valid() {
+		// Tracked path: score each row with its confidence and stream
+		// it into the drift sketch. Kept separate so the untracked
+		// loop below stays on its pinned allocation baseline.
+		t.Bind(p.baseline)
+		lim := int32(p.numItems)
+		for i := range rows {
+			if err := g.Check(); err != nil {
+				return nil, err
+			}
+			fv := p.featureVector(b.Rows[i])
+			cls, conf, hasConf := p.predictConf(fv)
+			out[i] = cls
+			t.ObserveRow(cls, modelobs.ConfMicro(conf), hasConf, fv, lim)
+		}
+		return out, nil
+	}
 	for i := range rows {
 		if err := g.Check(); err != nil {
 			return nil, err

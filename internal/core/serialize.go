@@ -11,6 +11,7 @@ import (
 	"dfpc/internal/durable"
 	"dfpc/internal/knn"
 	"dfpc/internal/mining"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/nbayes"
 	"dfpc/internal/obs"
 	"dfpc/internal/svm"
@@ -30,9 +31,20 @@ type pipelineSnapshot struct {
 	Stats    FitStats
 	Learner  Learner
 	Model    []byte
+	// Baseline is the fit-time reference distribution for drift
+	// scoring, added in snapshot v2. Gob leaves it nil when decoding
+	// a v1 payload (absent fields decode to their zero value), so
+	// pre-baseline models load cleanly with Baseline == nil.
+	Baseline *modelobs.Baseline
 }
 
-const snapshotVersion = 1
+// snapshotVersion is the version written by Save; Load accepts any
+// version in [minSnapshotVersion, snapshotVersion]. v1 = pre-baseline
+// envelopes (no Baseline field); v2 added the modelobs baseline.
+const (
+	snapshotVersion    = 2
+	minSnapshotVersion = 1
+)
 
 // ModelKind is the durable-envelope kind string for saved pipelines.
 const ModelKind = "dfpc-model"
@@ -56,16 +68,18 @@ func (p *Pipeline) Save(w io.Writer) error {
 		Report:   p.report,
 		Stats:    p.Stats,
 		Learner:  p.cfg.Learner,
+		Baseline: p.baseline,
 	}
-	// Observers, loggers, and fault registries are per-process
-	// recorders, not model state (each additionally gob-encodes as
-	// nothing either way).
+	// Observers, loggers, fault registries, and drift trackers are
+	// per-process recorders, not model state (each additionally
+	// gob-encodes as nothing either way).
 	snap.Config.Obs = nil
 	snap.Config.Tree.Obs = nil
 	snap.Config.Log = obs.LogHandle{}
 	snap.Config.Tree.Log = obs.LogHandle{}
 	snap.Config.Faults = nil
 	snap.Config.Tree.Faults = nil
+	snap.Config.Drift = nil
 	var err error
 	if snap.Disc, err = p.disc.MarshalBinary(); err != nil {
 		return err
@@ -107,17 +121,17 @@ func Load(r io.Reader) (p *Pipeline, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if ver != snapshotVersion {
-		return nil, fmt.Errorf("core: load: %w: snapshot version %d, this build reads %d",
-			durable.ErrVersionMismatch, ver, snapshotVersion)
+	if ver < minSnapshotVersion || ver > snapshotVersion {
+		return nil, fmt.Errorf("core: load: %w: snapshot version %d, this build reads %d..%d",
+			durable.ErrVersionMismatch, ver, minSnapshotVersion, snapshotVersion)
 	}
 	var snap pipelineSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: load: %w: %v", durable.ErrCorruptArtifact, err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: load: %w: inner snapshot version %d",
-			durable.ErrVersionMismatch, snap.Version)
+	if snap.Version != int(ver) {
+		return nil, fmt.Errorf("core: load: %w: inner snapshot version %d under envelope version %d",
+			durable.ErrVersionMismatch, snap.Version, ver)
 	}
 	p = &Pipeline{
 		cfg:      snap.Config,
@@ -126,6 +140,7 @@ func Load(r io.Reader) (p *Pipeline, err error) {
 		itemKept: snap.ItemKept,
 		report:   snap.Report,
 		Stats:    snap.Stats,
+		baseline: snap.Baseline,
 	}
 	p.disc = &discretize.Discretizer{}
 	if err := p.disc.UnmarshalBinary(snap.Disc); err != nil {

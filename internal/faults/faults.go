@@ -58,6 +58,9 @@ const (
 	// Telemetry journal appends and checkpoint writes.
 	TelemetryJournal = "telemetry.journal"
 	CheckpointWrite  = "checkpoint.write"
+
+	// Drift-report snapshots (modelobs.Tracker.Report).
+	ModelobsSnapshot = "modelobs.snapshot"
 )
 
 // Known returns every registered injection point name, sorted. The
@@ -70,6 +73,7 @@ func Known() []string {
 		MinePartition, MineGrow,
 		FeatselMMRFS, SVMSolve, C45Build, EvalFold,
 		TelemetryJournal, CheckpointWrite,
+		ModelobsSnapshot,
 	}
 	sort.Strings(pts)
 	return pts

@@ -488,3 +488,21 @@ func AboveThreshold(cands []Candidate, classMasks []*bitset.Bitset, rel Relevanc
 	res.Selected = idx
 	return res
 }
+
+// FireRates returns, per candidate, the fraction of the n training
+// rows its coverage bitset fires on. This is the fit-time reference
+// the modelobs drift layer compares live pattern fire rates against:
+// computed from the same coverage bitmaps MMRFS selected on, so the
+// baseline costs no extra pass over the data.
+func FireRates(cands []Candidate, n int) []float64 {
+	out := make([]float64, len(cands))
+	if n <= 0 {
+		return out
+	}
+	for i, c := range cands {
+		if c.Cover != nil {
+			out[i] = float64(c.Cover.Count()) / float64(n)
+		}
+	}
+	return out
+}

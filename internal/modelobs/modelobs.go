@@ -1,0 +1,155 @@
+// Package modelobs is the model-quality observability layer: it
+// answers "is the fitted model still seeing the distribution it was
+// trained on?", not "was Fit fast?". At Fit time core embeds a
+// Baseline — class priors, predicted-class mix, per-pattern fire
+// rates from the training coverage bitmaps, confidence and
+// feature-density histograms — into the model artifact. At Predict
+// time a Tracker streams every prediction into a deterministic
+// sliding-window Sketch and scores live-vs-baseline divergence with
+// PSI and chi-square per dimension.
+//
+// Determinism contract: nothing in this package reads a clock or a
+// random source. The sliding window advances on prediction count, so
+// a replayed prediction stream produces byte-identical sketch state
+// and drift reports at any worker count (the `nondeterm` analyzer
+// polices the Fit/Predict cones this package lives in).
+package modelobs
+
+import "math"
+
+// psiEpsilon floors the proportions entering the PSI log ratio so an
+// empty bucket on either side contributes a large-but-finite term
+// instead of ±Inf. 1e-6 is the conventional floor for percent-scale
+// PSI tables.
+const psiEpsilon = 1e-6
+
+// chiMinExpected drops cells whose expected count is effectively zero
+// from the chi-square statistic; with the baseline proportion exactly
+// zero the cell carries no information and would otherwise divide by
+// zero.
+const chiMinExpected = 1e-9
+
+// PSI computes the population stability index between a baseline
+// proportion vector and a live count vector over the same buckets:
+// sum over buckets of (q-p)·ln(q/p) with q the live proportion.
+// The conventional reading: < 0.1 stable, 0.1–0.25 moderate shift,
+// > 0.25 significant shift. total is the live observation count;
+// zero total returns 0 (no evidence of anything).
+func PSI(baseProp []float64, live []int64, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	n := float64(total)
+	s := 0.0
+	for i, p := range baseProp {
+		q := 0.0
+		if i < len(live) {
+			q = float64(live[i]) / n
+		}
+		if p < psiEpsilon {
+			p = psiEpsilon
+		}
+		if q < psiEpsilon {
+			q = psiEpsilon
+		}
+		s += (q - p) * math.Log(q/p)
+	}
+	return s
+}
+
+// PSIBinary is PSI over a two-bucket distribution {event, no-event}
+// given the baseline and live event rates. It scores drift of a
+// single rate (one pattern's fire rate, the low-confidence rate).
+func PSIBinary(baseRate, liveRate float64) float64 {
+	p, q := baseRate, liveRate
+	if p < psiEpsilon {
+		p = psiEpsilon
+	}
+	if q < psiEpsilon {
+		q = psiEpsilon
+	}
+	s := (q - p) * math.Log(q/p)
+	p, q = 1-baseRate, 1-liveRate
+	if p < psiEpsilon {
+		p = psiEpsilon
+	}
+	if q < psiEpsilon {
+		q = psiEpsilon
+	}
+	return s + (q-p)*math.Log(q/p)
+}
+
+// ChiSquare computes Pearson's chi-square statistic of observed live
+// counts against the expected baseline proportions, and the degrees
+// of freedom (informative cells − 1). Cells whose expectation is
+// effectively zero are skipped.
+func ChiSquare(observed []int64, expectedProp []float64) (stat float64, df int) {
+	var total int64
+	for _, o := range observed {
+		total += o
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	cells := 0
+	for i, o := range observed {
+		e := 0.0
+		if i < len(expectedProp) {
+			e = expectedProp[i] * float64(total)
+		}
+		if e < chiMinExpected {
+			continue
+		}
+		d := float64(o) - e
+		stat += d * d / e
+		cells++
+	}
+	if cells > 0 {
+		df = cells - 1
+	}
+	return stat, df
+}
+
+// ChiSquareBinary is the two-cell chi-square of a live event count
+// against a baseline event rate.
+func ChiSquareBinary(events, total int64, baseRate float64) (stat float64, df int) {
+	if total == 0 {
+		return 0, 0
+	}
+	e1 := baseRate * float64(total)
+	e0 := (1 - baseRate) * float64(total)
+	if e1 < chiMinExpected || e0 < chiMinExpected {
+		return 0, 0
+	}
+	d1 := float64(events) - e1
+	d0 := float64(total-events) - e0
+	return d1*d1/e1 + d0*d0/e0, 1
+}
+
+// ChiSquarePValue approximates P(X²(df) > stat) with the
+// Wilson–Hilferty cube-root normal transform — accurate to a few
+// percent for df ≥ 1, which is plenty for a drift dashboard.
+func ChiSquarePValue(stat float64, df int) float64 {
+	if df <= 0 {
+		return 1
+	}
+	if stat <= 0 {
+		return 1
+	}
+	k := float64(df)
+	mu := 1 - 2/(9*k)
+	sigma := math.Sqrt(2 / (9 * k))
+	z := (math.Cbrt(stat/k) - mu) / sigma
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// ConfMicro converts a learner confidence (SVM margin, C4.5 leaf
+// purity) to micro-units so it can land in the int64 log2 histogram
+// buckets the obs package uses everywhere else: int64(conf × 1e6).
+// Negative confidences clamp to 0 (bucket 0).
+func ConfMicro(conf float64) int64 {
+	if conf <= 0 {
+		return 0
+	}
+	return int64(conf * 1e6)
+}

@@ -13,6 +13,11 @@ import (
 // both fit without configuration.
 const numHistBuckets = 64
 
+// NumHistBuckets exports the fixed bucket count so sibling packages
+// (modelobs baselines and sketches) can size bucket arrays that stay
+// index-compatible with obs histograms.
+const NumHistBuckets = numHistBuckets
+
 // Histogram is a lock-free distribution of int64 samples over fixed
 // log2-spaced buckets — the obs type behind per-stage latency and
 // allocation distributions. Observe is two atomic adds on the hot
@@ -31,6 +36,11 @@ func histBucket(v int64) int {
 	}
 	return bits.Len64(uint64(v))
 }
+
+// BucketIndex maps a sample to its log2 bucket index — the exported
+// face of histBucket, for callers (modelobs) that maintain their own
+// bucket arrays in the same layout.
+func BucketIndex(v int64) int { return histBucket(v) }
 
 // BucketUpperBound returns the inclusive upper bound of bucket i:
 // 0 for bucket 0, 2^i − 1 for the rest (saturating at MaxInt64).

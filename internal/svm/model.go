@@ -266,6 +266,55 @@ func (m *Model) Predict(x []int32) int {
 	return best
 }
 
+// PredictMargin returns the predicted class together with a
+// confidence margin: the winner's summed |decision| minus the
+// runner-up's. For binary problems this is |f(x)| of the single
+// decision function; for one-vs-one multiclass it is the summed-score
+// gap between the top two classes. Degenerate single-class models
+// report margin 0. The prediction is identical to Predict's.
+func (m *Model) PredictMargin(x []int32) (int, float64) {
+	if m.singleClass >= 0 {
+		return m.singleClass, 0
+	}
+	votes := make([]int, m.numClasses)
+	score := make([]float64, m.numClasses)
+	for k, bm := range m.pairs {
+		d := bm.decision(x)
+		a, b := m.pairClass[k][0], m.pairClass[k][1]
+		if d > 0 {
+			votes[a]++
+			score[a] += d
+		} else {
+			votes[b]++
+			score[b] -= d
+		}
+	}
+	best := 0
+	for c := 1; c < m.numClasses; c++ {
+		if votes[c] > votes[best] || (votes[c] == votes[best] && score[c] > score[best]) {
+			best = c
+		}
+	}
+	// Runner-up by the same (votes, score) order, excluding best.
+	second := -1
+	for c := 0; c < m.numClasses; c++ {
+		if c == best {
+			continue
+		}
+		if second < 0 || votes[c] > votes[second] || (votes[c] == votes[second] && score[c] > score[second]) {
+			second = c
+		}
+	}
+	if second < 0 {
+		return best, 0
+	}
+	margin := score[best] - score[second]
+	if margin < 0 {
+		margin = 0
+	}
+	return best, margin
+}
+
 // PredictAll predicts every row.
 func (m *Model) PredictAll(x [][]int32) []int {
 	out := make([]int, len(x))

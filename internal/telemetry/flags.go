@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dfpc/internal/faults"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/obs"
 )
 
@@ -22,23 +23,54 @@ type Flags struct {
 	LogFormat string
 	// Journal is the JSONL run-journal path; empty disables journaling.
 	Journal string
+	// DriftWarn is the -drift-warn PSI threshold; > 0 enables drift
+	// tracking and WARNs when the max per-dimension PSI crosses it.
+	DriftWarn float64
+	// DriftWindow is the -drift-window sketch window size in
+	// predictions; > 0 enables drift tracking (0 with -drift-warn set
+	// uses the modelobs default, 256).
+	DriftWindow int
 }
 
-// Register installs the -listen, -log-format, and -journal flags.
+// Register installs the -listen, -log-format, -journal, -drift-warn,
+// and -drift-window flags.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	if f == nil {
 		return
 	}
-	fs.StringVar(&f.Listen, "listen", "", "serve /metrics, /runs, /healthz and /debug/pprof on this address (e.g. :9090)")
+	fs.StringVar(&f.Listen, "listen", "", "serve /metrics, /runs, /healthz, /drift and /debug/pprof on this address (e.g. :9090)")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
 	fs.StringVar(&f.Journal, "journal", "", "append one JSONL record per run to this file")
+	fs.Float64Var(&f.DriftWarn, "drift-warn", 0, "track prediction drift and log WARN when live-vs-baseline PSI crosses this threshold (0 disables unless -drift-window is set; 0.25 is the conventional 'significant shift' cut)")
+	fs.IntVar(&f.DriftWindow, "drift-window", 0, "predictions per drift sketch window (0 = 256 when drift tracking is on)")
+}
+
+// DriftEnabled reports whether either drift flag asks for prediction
+// drift tracking.
+func (f *Flags) DriftEnabled() bool {
+	return f != nil && (f.DriftWarn > 0 || f.DriftWindow > 0)
+}
+
+// NewDriftTracker builds the modelobs tracker the drift flags
+// describe, or nil when drift tracking is off. o receives the
+// dfpc_drift_* gauges; log the threshold WARNs.
+func (f *Flags) NewDriftTracker(o *obs.Observer, log *slog.Logger) *modelobs.Tracker {
+	if !f.DriftEnabled() {
+		return nil
+	}
+	return modelobs.NewTracker(modelobs.TrackerConfig{
+		WindowSize: f.DriftWindow,
+		WarnPSI:    f.DriftWarn,
+		Obs:        o,
+		Log:        log,
+	})
 }
 
 // NeedsObserver reports whether the flags require a live observer even
 // when the user did not ask for a report: the debug server scrapes it
 // and the journal aggregates its spans.
 func (f *Flags) NeedsObserver() bool {
-	return f != nil && (f.Listen != "" || f.Journal != "")
+	return f != nil && (f.Listen != "" || f.Journal != "" || f.DriftEnabled())
 }
 
 // Session is a CLI's telemetry lifetime: the root logger, the debug
@@ -117,6 +149,16 @@ func (s *Session) SetFaults(r *faults.Registry) {
 		return
 	}
 	s.journal.SetFaults(r)
+}
+
+// EnableDrift exposes the tracker on the debug server's /drift
+// endpoint. Safe before or after Start's server is serving; a no-op
+// without -listen.
+func (s *Session) EnableDrift(t *modelobs.Tracker) {
+	if s == nil {
+		return
+	}
+	s.server.SetDrift(t)
 }
 
 // AddRun publishes a completed RunReport to the /runs ring buffer.

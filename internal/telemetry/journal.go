@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dfpc/internal/faults"
+	"dfpc/internal/modelobs"
 	"dfpc/internal/obs"
 )
 
@@ -64,6 +65,9 @@ type Record struct {
 	// Audits carries named decision-audit tables (e.g. "mmrfs" → the
 	// per-iteration selection trail). Values must marshal to JSON.
 	Audits map[string]any `json:"audits,omitempty"`
+	// Drift carries the live-vs-baseline divergence report of a
+	// drift-tracked run (kind "drift").
+	Drift *modelobs.DriftReport `json:"drift,omitempty"`
 }
 
 // StageStat is the per-stage aggregate of a run's spans: how many

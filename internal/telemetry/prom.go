@@ -90,6 +90,33 @@ func writeHistograms(w io.Writer, hists map[string]obs.HistogramSnapshot) error 
 				return err
 			}
 		}
+		if err := writeHistogramQuantiles(w, fam, families[fam]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramQuantiles emits the p50/p90/p99 estimates each obs
+// snapshot already carries as a companion gauge family
+// <fam>_quantile{quantile="0.5"|"0.9"|"0.99"}, so a dashboard can
+// plot latency percentiles without a PromQL histogram_quantile over
+// the log2 buckets (whose coarse upper bounds would lose precision
+// anyway — obs interpolates inside the bucket).
+func writeHistogramQuantiles(w io.Writer, fam string, series []histSeries) error {
+	qfam := fam + "_quantile"
+	if _, err := fmt.Fprintf(w, "# HELP %s p50/p90/p99 estimates from the obs log2 histogram\n# TYPE %s gauge\n", qfam, qfam); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", s.snap.P50}, {"0.9", s.snap.P90}, {"0.99", s.snap.P99}} {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", qfam, mergeLabels(s.label, `quantile="`+q.label+`"`), q.v); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dfpc/internal/obs"
+)
+
+// TestPromQuantileSeries pins the exact Prometheus text the obs
+// registries render to, including the _quantile gauge companions of
+// every histogram family. Golden text, not substring probes: the
+// exposition format is a wire contract with external scrapers, so a
+// stray label or reordered family should fail loudly. Runtime go_*
+// lines vary by Go version and are filtered out before comparison.
+func TestPromQuantileSeries(t *testing.T) {
+	o := obs.New()
+	o.Counter("fptree.nodes").Add(12)
+	o.Gauge("mine.min_sup.resolved").Set(0.15)
+	h := o.Histogram("stage.mine.duration_ns")
+	for _, v := range []int64{100, 100, 100, 100} {
+		h.Observe(v)
+	}
+	d := o.Histogram("featvec.density")
+	d.Observe(3)
+	d.Observe(5)
+
+	var b strings.Builder
+	if err := WriteMetrics(&b, o); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	var got strings.Builder
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE go") || strings.HasPrefix(line, "go_") || line == "" {
+			continue
+		}
+		got.WriteString(line)
+		got.WriteByte('\n')
+	}
+
+	// Samples of 100 land in log2 bucket 7 (le=127); 3 and 5 land in
+	// buckets 2 (le=3) and 3 (le=7). Quantiles interpolate linearly
+	// inside the bucket from its lower bound.
+	want := `# HELP dfpc_fptree_nodes_total obs counter fptree.nodes
+# TYPE dfpc_fptree_nodes_total counter
+dfpc_fptree_nodes_total 12
+# HELP dfpc_mine_min_sup_resolved obs gauge mine.min_sup.resolved
+# TYPE dfpc_mine_min_sup_resolved gauge
+dfpc_mine_min_sup_resolved 0.15
+# HELP dfpc_featvec_density obs histogram
+# TYPE dfpc_featvec_density histogram
+dfpc_featvec_density_bucket{le="3"} 1
+dfpc_featvec_density_bucket{le="7"} 2
+dfpc_featvec_density_bucket{le="+Inf"} 2
+dfpc_featvec_density_sum 8
+dfpc_featvec_density_count 2
+# HELP dfpc_featvec_density_quantile p50/p90/p99 estimates from the obs log2 histogram
+# TYPE dfpc_featvec_density_quantile gauge
+dfpc_featvec_density_quantile{quantile="0.5"} ` + q(d, 0.50) + `
+dfpc_featvec_density_quantile{quantile="0.9"} ` + q(d, 0.90) + `
+dfpc_featvec_density_quantile{quantile="0.99"} ` + q(d, 0.99) + `
+# HELP dfpc_stage_duration_ns obs histogram
+# TYPE dfpc_stage_duration_ns histogram
+dfpc_stage_duration_ns_bucket{stage="mine",le="127"} 4
+dfpc_stage_duration_ns_bucket{stage="mine",le="+Inf"} 4
+dfpc_stage_duration_ns_sum{stage="mine"} 400
+dfpc_stage_duration_ns_count{stage="mine"} 4
+# HELP dfpc_stage_duration_ns_quantile p50/p90/p99 estimates from the obs log2 histogram
+# TYPE dfpc_stage_duration_ns_quantile gauge
+dfpc_stage_duration_ns_quantile{stage="mine",quantile="0.5"} ` + q(h, 0.50) + `
+dfpc_stage_duration_ns_quantile{stage="mine",quantile="0.9"} ` + q(h, 0.90) + `
+dfpc_stage_duration_ns_quantile{stage="mine",quantile="0.99"} ` + q(h, 0.99) + `
+`
+	if got.String() != want {
+		t.Errorf("prom text mismatch\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+}
+
+// q renders a histogram quantile exactly as the exposition writer
+// does, so the golden text stays pinned to the obs interpolation
+// rather than re-deriving it by hand.
+func q(h *obs.Histogram, quantile float64) string {
+	snap := h.Snapshot()
+	switch {
+	case quantile < 0.6:
+		return strconv.FormatInt(snap.P50, 10)
+	case quantile < 0.95:
+		return strconv.FormatInt(snap.P90, 10)
+	default:
+		return strconv.FormatInt(snap.P99, 10)
+	}
+}

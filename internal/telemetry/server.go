@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"dfpc/internal/modelobs"
 	"dfpc/internal/obs"
 )
 
@@ -28,12 +29,17 @@ type ServerConfig struct {
 	Runs *RunBuffer
 	// Log receives server lifecycle records; nil is silent.
 	Log *slog.Logger
+	// Drift backs /drift; nil answers 404 (drift tracking disabled).
+	// It can also be installed after construction with SetDrift, since
+	// CLIs typically build the server before the model is fitted.
+	Drift *modelobs.Tracker
 }
 
 // Server is the live debug endpoint for a running CLI:
 //
 //	/metrics        Prometheus text exposition of the obs registries
 //	/healthz        liveness probe
+//	/drift          JSON live-vs-baseline drift report (modelobs)
 //	/runs           JSON ring buffer of recent RunReports
 //	/trace/{run}    Chrome trace_event JSON of one buffered run
 //	                ({run} = index into /runs, or "latest")
@@ -42,19 +48,21 @@ type ServerConfig struct {
 // Construct with NewServer, then Start. A nil *Server is valid and
 // inert, so CLIs call Start/Shutdown unconditionally.
 type Server struct {
-	cfg  ServerConfig
-	srv  *http.Server
-	mu   sync.Mutex
-	ln   net.Listener
-	done chan struct{}
+	cfg   ServerConfig
+	srv   *http.Server
+	mu    sync.Mutex
+	ln    net.Listener
+	drift *modelobs.Tracker // guarded by mu; see SetDrift
+	done  chan struct{}
 }
 
 // NewServer builds a Server from cfg without binding the port.
 func NewServer(cfg ServerConfig) *Server {
-	s := &Server{cfg: cfg, done: make(chan struct{})}
+	s := &Server{cfg: cfg, drift: cfg.Drift, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/drift", s.handleDrift)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/trace/", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -134,6 +142,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := WriteMetrics(w, s.cfg.Obs); err != nil && s.cfg.Log != nil {
 		s.cfg.Log.Warn("metrics scrape failed", slog.String("err", err.Error()))
+	}
+}
+
+// SetDrift installs (or replaces) the tracker behind /drift. Safe to
+// call while the server is serving — CLIs build the tracker only
+// after the session (and thus the server) is up. Nil-safe.
+func (s *Server) SetDrift(t *modelobs.Tracker) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.drift = t
+	s.mu.Unlock()
+}
+
+// handleDrift serves the live drift report: 404 while no tracker is
+// installed, 500 when the report itself fails (fault injection), and
+// otherwise the indented-JSON DriftReport — deterministic bytes for
+// deterministic tracker state.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	t := s.drift
+	s.mu.Unlock()
+	rep, err := t.Report()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("drift report failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if rep == nil {
+		http.Error(w, "drift tracking disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Warn("drift encode failed", slog.String("err", err.Error()))
 	}
 }
 

@@ -27,6 +27,16 @@ if [ "${1:-}" = "bench" ]; then
 	go run ./cmd/experiments -benchjson "$out"
 	echo ">> go run ./cmd/benchdiff BENCH_pipeline.json $out"
 	go run ./cmd/benchdiff BENCH_pipeline.json "$out"
+	# Predict-path allocation benches: drift-on must not allocate more
+	# than drift-off — the tracker's steady-state observation path is
+	# allocation-free by contract (buffers are bound once at Bind).
+	pb="${PREDICT_BENCH_OUT:-/tmp/predict_bench.txt}"
+	echo ">> go test -bench 'BenchmarkPredictAllocs|BenchmarkPredictDriftOn' ./internal/core/"
+	go test -run '^$' -bench 'BenchmarkPredictAllocs$|BenchmarkPredictDriftOn$' \
+		-benchmem -benchtime=200x -count=1 ./internal/core/ | tee "$pb"
+	awk '/^BenchmarkPredictAllocs/{off=$(NF-1)} /^BenchmarkPredictDriftOn/{on=$(NF-1)}
+		END{ if (on == "" || off == "") { print "predict benches missing from output"; exit 1 }
+		     if (on+0 > off+0) { printf "drift-on predict allocates more than drift-off (%s > %s allocs/op)\n", on, off; exit 1 } }' "$pb"
 	echo "OK (bench)"
 	exit 0
 fi
