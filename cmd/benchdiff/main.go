@@ -50,11 +50,12 @@ import (
 
 // benchDoc mirrors the document written by `experiments -benchjson`.
 type benchDoc struct {
-	Benchmark string           `json:"benchmark"`
-	Folds     int              `json:"folds"`
-	MinSup    float64          `json:"min_sup"`
-	Workers   int              `json:"workers,omitempty"`
-	Runs      []*obs.RunReport `json:"runs"`
+	Benchmark string                   `json:"benchmark"`
+	Folds     int                      `json:"folds"`
+	MinSup    float64                  `json:"min_sup"`
+	Workers   int                      `json:"workers,omitempty"`
+	Runs      []*obs.RunReport         `json:"runs"`
+	Predict   []telemetry.PredictBench `json:"predict,omitempty"`
 }
 
 func main() {
@@ -139,11 +140,52 @@ func main() {
 	if skipped > 0 {
 		fmt.Printf("(%d stage(s) under the %v noise floor not compared)\n", skipped, *minWall)
 	}
+	regressed += comparePredict(base, cur, *threshold)
 	if regressed > 0 {
 		fmt.Printf("FAIL: %d stage(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
 		os.Exit(1)
 	}
 	fmt.Printf("ok: all compared stages within %.0f%% of baseline\n", 100**threshold)
+}
+
+// comparePredict gates the predict-throughput section: each
+// (dataset, batch) pair's rows/sec may fall at most `threshold` below
+// the committed baseline. Documents written before the section existed
+// carry no predict entries, so the comparison silently has nothing to
+// do against an old baseline — regenerating BENCH_pipeline.json arms
+// it. Returns the number of regressed measurements.
+func comparePredict(base, cur *benchDoc, threshold float64) int {
+	if len(base.Predict) == 0 {
+		if len(cur.Predict) > 0 {
+			fmt.Println("(baseline has no predict-throughput section; not compared — regenerate the baseline to arm the gate)")
+		}
+		return 0
+	}
+	curBy := map[string]telemetry.PredictBench{}
+	for _, m := range cur.Predict {
+		curBy[fmt.Sprintf("%s/%d", m.Dataset, m.Batch)] = m
+	}
+	regressed := 0
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "predict\tbaseline rows/s\tcurrent rows/s\tdelta\tp99/row\tverdict\n")
+	for _, b := range base.Predict {
+		key := fmt.Sprintf("%s/%d", b.Dataset, b.Batch)
+		c, ok := curBy[key]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t-\tmissing\n", key, b.RowsPerSec)
+			continue
+		}
+		delta := (c.RowsPerSec - b.RowsPerSec) / b.RowsPerSec
+		verdict := "ok"
+		if delta < -threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%v\t%s\n",
+			key, b.RowsPerSec, c.RowsPerSec, 100*delta, time.Duration(c.P99NSPerRow), verdict)
+	}
+	tw.Flush()
+	return regressed
 }
 
 // speedupMode compares per-run elapsed wall clock between a sequential

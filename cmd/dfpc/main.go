@@ -433,8 +433,10 @@ func predictOnly(ctx context.Context, path string, d *dfpc.Dataset, explainN int
 	for i := range rows {
 		rows[i] = i
 	}
-	pred, err := clf.PredictContext(ctx, d, rows)
-	if err != nil {
+	// PredictBatch scores through the compiled-matcher path with one
+	// scratch set for the whole file instead of per-call setup.
+	pred := make([]int, len(rows))
+	if err := clf.PredictBatch(ctx, d, rows, pred); err != nil {
 		return err
 	}
 	correct := 0

@@ -262,6 +262,10 @@ func runBenchJSON(path string, ses *telemetry.Session, tf *telemetry.Flags, work
 		MinSup    float64           `json:"min_sup"`
 		Workers   int               `json:"workers,omitempty"`
 		Runs      []*dfpc.RunReport `json:"runs"`
+		// Predict is the compiled predict path's throughput/tail-latency
+		// section (added with the patmatch trie); benchdiff gates
+		// rows_per_sec when the baseline document carries it too.
+		Predict []telemetry.PredictBench `json:"predict,omitempty"`
 	}
 	const minSup = 0.15
 	out := doc{Benchmark: "pipeline-stages", Folds: 3, MinSup: minSup,
@@ -302,6 +306,15 @@ func runBenchJSON(path string, ses *telemetry.Session, tf *telemetry.Flags, work
 		})
 		fmt.Printf("%-10s accuracy %.2f%% ± %.2f  wall %v\n",
 			name, 100*res.Mean, 100*res.Std, time.Duration(rep.WallNS).Round(time.Millisecond))
+		pb, err := measurePredict(name, d, minSup, workers)
+		if err != nil {
+			return fmt.Errorf("%s: predict bench: %w", name, err)
+		}
+		for _, m := range pb {
+			fmt.Printf("%-10s predict batch=%-5d %11.0f rows/s  p99 %v/row\n",
+				name, m.Batch, m.RowsPerSec, time.Duration(m.P99NSPerRow))
+		}
+		out.Predict = append(out.Predict, pb...)
 	}
 	if err := durable.WriteAtomic(path, nil, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -312,6 +325,66 @@ func runBenchJSON(path string, ses *telemetry.Session, tf *telemetry.Flags, work
 	}
 	fmt.Printf("per-stage benchmark written to %s\n", path)
 	return nil
+}
+
+// predictBatchSizes are the batch sizes profiled by the predict
+// throughput section of -benchjson: interactive (1), a typical
+// serving request (64), and bulk scoring (1024).
+var predictBatchSizes = []int{1, 64, 1024}
+
+// measurePredict fits a fresh Pat_FS+SVM classifier on the whole
+// dataset and measures the compiled predict path: rows/sec and
+// 99th-percentile per-row latency through PredictBatch at each batch
+// size. Row indices cycle through the dataset when a batch exceeds it.
+func measurePredict(name string, d *dfpc.Dataset, minSup float64, workers parallel.Workers) ([]telemetry.PredictBench, error) {
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	clf := dfpc.NewClassifier(dfpc.PatFS, dfpc.SVM,
+		dfpc.WithMinSupport(minSup), dfpc.WithWorkers(int(workers)))
+	if err := clf.Fit(d, rows); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var out []telemetry.PredictBench
+	for _, batch := range predictBatchSizes {
+		in := make([]int, batch)
+		pred := make([]int, batch)
+		// Warm once so one-time costs (scorer scratch, page-in) stay out
+		// of the samples, then measure enough batches for a stable p99
+		// without letting large batches run away on slow machines. The
+		// batch window slides across the dataset between samples so even
+		// batch=1 scores every row, not row 0 over and over; the index
+		// refill happens outside the timed region.
+		if err := clf.PredictBatch(ctx, d, in, pred); err != nil {
+			return nil, err
+		}
+		const targetBatches = 256
+		samples := make([]int64, 0, targetBatches)
+		var totalNS int64
+		for len(samples) < targetBatches && totalNS < int64(500*time.Millisecond) {
+			off := len(samples) * batch
+			for i := range in {
+				in[i] = (off + i) % d.NumRows()
+			}
+			start := time.Now()
+			if err := clf.PredictBatch(ctx, d, in, pred); err != nil {
+				return nil, err
+			}
+			el := time.Since(start).Nanoseconds()
+			samples = append(samples, el/int64(batch))
+			totalNS += el
+		}
+		out = append(out, telemetry.PredictBench{
+			Dataset:     name,
+			Batch:       batch,
+			Rows:        len(samples) * batch,
+			RowsPerSec:  float64(len(samples)*batch) / (float64(totalNS) / 1e9),
+			P99NSPerRow: telemetry.P99(samples),
+		})
+	}
+	return out, nil
 }
 
 // emitCSV atomically writes one result file when -csv is set, so an

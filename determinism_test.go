@@ -1,6 +1,8 @@
 package dfpc
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"reflect"
 	"testing"
@@ -20,6 +22,11 @@ type fitSignature struct {
 	minedCount  int
 	featCount   int
 	predictions []int
+	// matcherBytes is the gob encoding of the compiled pattern-matching
+	// trie. Compile sorts patterns lexicographically before building, so
+	// the trie must come out byte-identical no matter how many workers
+	// mined and selected the patterns feeding it.
+	matcherBytes []byte
 }
 
 func fitOnce(t *testing.T, d *Dataset, workers int) fitSignature {
@@ -45,6 +52,13 @@ func fitOnce(t *testing.T, d *Dataset, workers int) fitSignature {
 	sig.minedCount = clf.Stats.MinedCount
 	sig.featCount = clf.Stats.FeatureCount
 	sig.predictions = pred
+	if m := clf.Matcher(); m != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatalf("workers=%d: encode matcher: %v", workers, err)
+		}
+		sig.matcherBytes = buf.Bytes()
+	}
 	return sig
 }
 
@@ -61,6 +75,9 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 			if len(base.patterns) == 0 {
 				t.Fatal("baseline selected no patterns; test would be vacuous")
 			}
+			if len(base.matcherBytes) == 0 {
+				t.Fatal("baseline compiled no matcher; test would be vacuous")
+			}
 			for _, w := range []int{2, 8} {
 				got := fitOnce(t, d, w)
 				if !reflect.DeepEqual(got.patterns, base.patterns) {
@@ -72,6 +89,9 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 				}
 				if !reflect.DeepEqual(got.predictions, base.predictions) {
 					t.Errorf("workers=%d: predictions diverge from sequential", w)
+				}
+				if !bytes.Equal(got.matcherBytes, base.matcherBytes) {
+					t.Errorf("workers=%d: compiled matcher bytes diverge from sequential", w)
 				}
 			}
 		})

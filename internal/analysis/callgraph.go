@@ -79,11 +79,17 @@ var determinismRoots = map[string]bool{
 	"Apriori":               true,
 }
 
-// hotPathRoots seed the predict/serving cone.
+// hotPathRoots seed the predict/serving cone. Match and
+// featureVectorInto are roots of their own (not just reachable
+// members) so the matcher walk and the feature-space mapping stay
+// under the allocation discipline even if an outer entry point is
+// refactored out from above them.
 var hotPathRoots = map[string]bool{
-	"Predict":        true,
-	"PredictContext": true,
-	"ExplainPredict": true,
+	"Predict":           true,
+	"PredictContext":    true,
+	"ExplainPredict":    true,
+	"Match":             true,
+	"featureVectorInto": true,
 }
 
 // FuncKey returns the canonical graph key for a declared function, or

@@ -15,6 +15,7 @@ func loadRealGraph(t *testing.T) *CallGraph {
 		"dfpc/internal/mining",
 		"dfpc/internal/dataset",
 		"dfpc/internal/discretize",
+		"dfpc/internal/patmatch",
 	)
 	if err != nil {
 		t.Fatalf("load: %v", err)
@@ -52,8 +53,13 @@ func TestCallGraphReachability(t *testing.T) {
 		// Reached only through core's predictor interface — pins the
 		// CHA edge for interface method calls.
 		"(*dfpc/internal/svm.Model).Predict",
-		// The per-row encoder every prediction goes through.
-		"(*dfpc/internal/core.Pipeline).featureVector",
+		// The per-row feature-space mapping every prediction goes
+		// through, and the compiled trie walk under it.
+		"(*dfpc/internal/core.Pipeline).featureVectorInto",
+		"(*dfpc/internal/patmatch.Matcher).Match",
+		"(*dfpc/internal/patmatch.Matcher).MatchAppend",
+		// The streaming row encoder of the batch predict path.
+		"(*dfpc/internal/core.rowCoder).encode",
 	}
 	for _, key := range inHotPath {
 		if !g.HotPath[key] {

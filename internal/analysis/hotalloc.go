@@ -24,7 +24,11 @@ var Hotalloc = &Analyzer{
 		"make(map) per call, slice literals/make inside loops, appends to\n" +
 		"un-presized local slices inside loops, closures capturing enclosing\n" +
 		"variables (the environment is heap-allocated), and interface boxing\n" +
-		"of non-pointer values (the boxed copy is heap-allocated). Batch-level\n" +
+		"of non-pointer values (the boxed copy is heap-allocated). Appends\n" +
+		"into slice parameters and into reslices of existing buffers are\n" +
+		"sanctioned: they are the caller-owns-capacity Into idiom the\n" +
+		"zero-allocation predict path is built on, so any growth is the\n" +
+		"caller's presizing bug, not a per-call allocation here. Batch-level\n" +
 		"allocations that amortize over rows and sanctioned cold branches\n" +
 		"carry a //vet:ignore hotalloc with the reason. Test files are exempt.",
 	Default: true,
@@ -243,11 +247,28 @@ func isLocalOf(obj types.Object, fd *ast.FuncDecl) bool {
 	return obj != nil && obj.Pos() >= fd.Pos() && obj.Pos() < fd.End()
 }
 
-// presizedLocals collects local slice variables initialized with a
-// sized or capacity-carrying make — appends to those grow into
-// reserved space.
+// presizedLocals collects the slice variables whose append growth is
+// not this function's allocation: locals initialized with a sized or
+// capacity-carrying make (appends grow into reserved space), slice
+// parameters (the caller-owns-capacity Into idiom — dst arrives with
+// room reserved by the caller's presizing), and locals initialized
+// from a reslice of an existing buffer (tx := rc.tx[:0] inherits the
+// reused buffer's capacity).
 func presizedLocals(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 	out := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.Info.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					out[obj] = true
+				}
+			}
+		}
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != len(as.Rhs) {
@@ -256,6 +277,14 @@ func presizedLocals(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
 		for i, lhs := range as.Lhs {
 			id, ok := ast.Unparen(lhs).(*ast.Ident)
 			if !ok {
+				continue
+			}
+			if _, isReslice := ast.Unparen(as.Rhs[i]).(*ast.SliceExpr); isReslice {
+				// A reslice never allocates; appending to it reuses the
+				// original buffer's capacity.
+				if obj := p.Info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
 				continue
 			}
 			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)

@@ -1,0 +1,34 @@
+// Positive fixtures: the compiled pattern matcher's walk is a hot-path
+// root by bare name (Match, featureVectorInto) — allocations inside it
+// must be flagged even though no Predict entry point exists in this
+// package. This is the regression the cone extension guards: an edit
+// that reintroduces per-row garbage into the matcher breaks the
+// zero-allocs-per-row predict budget.
+package matcher
+
+type trie struct {
+	childStart []int32
+	edgeItem   []int32
+}
+
+// Match walks the trie against one transaction. The allocation shapes
+// below are exactly the ones a naive rewrite would introduce.
+func (t *trie) Match(tx []int32) []int32 {
+	var out []int32
+	for _, it := range tx {
+		frame := make([]int32, 2) // want "make.slice. inside a loop in hot-path function Match"
+		_ = frame
+		out = append(out, it) // want "append to un-presized local slice out inside a loop in hot-path function Match"
+	}
+	seen := map[int32]bool{} // want "map literal in hot-path function Match"
+	_ = seen
+	return out
+}
+
+// featureVectorInto maps a transaction into the fitted feature space;
+// it is likewise a root by name.
+func featureVectorInto(dst []int32, tx []int32) []int32 {
+	index := make(map[int32]int) // want "make.map. in hot-path function featureVectorInto"
+	_ = index
+	return append(dst, tx...)
+}

@@ -1,0 +1,51 @@
+// Negative fixtures: the disciplined matcher shapes are legal on the
+// hot path, and compile-time allocation is legal off it.
+package matcher
+
+// scratch models patmatch.Scratch: buffers owned by the caller, grown
+// once, reused every walk.
+type scratch struct {
+	stack   []int32
+	matched []int32
+}
+
+// compiled carries a second trie so this file can declare its own hot
+// Match without colliding with the positive fixture's.
+type compiled struct{ t trie }
+
+// Match is hot by name but allocation-free by discipline: it appends
+// into the dst parameter (caller-owns-capacity Into idiom), into [:0]
+// reslices of the caller's scratch buffers, and into struct fields —
+// none of which are this function's allocations.
+func (c *compiled) Match(dst []int32, tx []int32, s *scratch) []int32 {
+	s.matched = s.matched[:0]
+	stack := s.stack[:0]
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for ci := c.t.childStart[node]; ci < c.t.childStart[node+1]; ci++ {
+			stack = append(stack, ci)
+			s.matched = append(s.matched, c.t.edgeItem[ci])
+			dst = append(dst, c.t.edgeItem[ci])
+		}
+	}
+	s.stack = stack
+	return dst
+}
+
+// Compile is cold: trie construction happens once at fit time, where
+// maps and growing slices are exactly right.
+func Compile(patterns [][]int32) *trie {
+	index := map[int32]int{}
+	out := &trie{}
+	for _, p := range patterns {
+		for _, it := range p {
+			if _, ok := index[it]; !ok {
+				index[it] = len(out.edgeItem)
+				out.edgeItem = append(out.edgeItem, it)
+			}
+		}
+	}
+	return out
+}

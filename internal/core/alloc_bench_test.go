@@ -7,20 +7,21 @@ import (
 )
 
 // Measured allocation baselines for Predict on the XOR pipeline. The
-// per-row marginal cost (feature vector + item buffer + SVM scoring
-// scratch) is what the hotalloc analyzer guards statically; the batch
-// fixed cost covers the output slice, context, guard, and telemetry
-// span set up once per call. Pinning them dynamically catches a
-// regression that slips past the analyzer (e.g. through an unanalyzed
-// dependency). Current baselines: 5 marginal, 40 fixed. Raise only
-// with a reason in the diff.
+// compiled predict path (rowCoder + featureVectorInto + matcher
+// scratch + learner scorer) owns no per-row state, so the marginal
+// cost of an additional row is exactly zero allocations — with drift
+// tracking off or on. The batch fixed cost covers the output slice,
+// batch predictor scratch, context, guard, and telemetry span set up
+// once per call. Pinning these dynamically catches a regression that
+// slips past the hotalloc analyzer (e.g. through an unanalyzed
+// dependency). Raise only with a reason in the diff.
 const (
-	predictRowAllocBudget   = 6
+	predictRowAllocBudget   = 0
 	predictBatchAllocBudget = 48
-	// Drift-on marginal: the drift-off row cost plus the learner's
-	// confidence scratch (svm.PredictMargin allocates its vote/score
-	// slices per call). ObserveRow itself must stay allocation-free.
-	predictRowDriftAllocBudget = 9
+	// Drift-on marginal: ObserveRow and the scorer's confidence path
+	// reuse bound scratch, so drift tracking adds no per-row
+	// allocations either.
+	predictRowDriftAllocBudget = 0
 )
 
 func fitXORPipeline(tb testing.TB) (*Pipeline, []int, int) {

@@ -3,12 +3,10 @@ package core
 import (
 	"sort"
 
-	"dfpc/internal/c45"
 	"dfpc/internal/dataset"
 	"dfpc/internal/featsel"
 	"dfpc/internal/modelobs"
 	"dfpc/internal/obs"
-	"dfpc/internal/svm"
 )
 
 // computeBaseline records the training reference distribution the
@@ -49,9 +47,10 @@ func (p *Pipeline) computeBaseline(b *dataset.Binary, x [][]int32) {
 		}
 		bl.FireRate = featsel.FireRates(cands, n)
 	}
+	sc := p.newRowScorer()
 	confs := make([]int64, 0, n)
 	for _, fv := range x {
-		cls, conf, hasConf := p.predictConf(fv)
+		cls, conf, hasConf := sc.predictConf(fv)
 		if cls >= 0 && cls < len(bl.PredMix) {
 			bl.PredMix[cls]++
 		}
@@ -84,22 +83,3 @@ func (p *Pipeline) computeBaseline(b *dataset.Binary, x [][]int32) {
 	}
 }
 
-// predictConf scores one feature vector and, for learners that
-// expose one, its confidence: the SVM margin or the C4.5 leaf
-// purity. The class is identical to model.Predict's; hasConf is
-// false for learners without a native confidence (naive Bayes, kNN).
-// Shared by the baseline pass and the tracked Predict loop;
-// allocation behavior matches plain Predict (the SVM path reuses
-// Predict's own vote/score scratch shape).
-func (p *Pipeline) predictConf(fv []int32) (cls int, conf float64, hasConf bool) {
-	switch m := p.model.(type) {
-	case *svm.Model:
-		cls, conf = m.PredictMargin(fv)
-		return cls, conf, true
-	case *c45.Model:
-		cls, conf = m.PredictConf(fv)
-		return cls, conf, true
-	default:
-		return p.model.Predict(fv), 0, false
-	}
-}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"dfpc/internal/durable"
@@ -134,6 +135,58 @@ func TestLoadV1Envelope(t *testing.T) {
 		if e.Class != pred[i] {
 			t.Fatalf("PredictExplain row %d class = %d, Predict said %d", i, e.Class, pred[i])
 		}
+	}
+	// v1 envelopes predate the compiled matcher; Load must compile one
+	// lazily so old artifacts serve through the same zero-allocation
+	// path — and, compilation being deterministic, it must come out
+	// byte-identical to the trie a fresh fit of the same data builds.
+	if p.Matcher() == nil {
+		t.Fatal("v1 envelope: Load must lazily compile the matcher from the stored patterns")
+	}
+	fresh, _, _ := fitXORPipeline(t)
+	if !bytes.Equal(gobBytes(t, p.Matcher()), gobBytes(t, fresh.Matcher())) {
+		t.Fatal("lazily compiled matcher differs from a fit-time compile of the same patterns")
+	}
+}
+
+// gobBytes encodes v for byte-level equality checks.
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMatcherSnapshotRoundTrip is the v3 counterpart of the baseline
+// round trip: the compiled trie is carried through Save/Load
+// byte-for-byte (no lazy recompile on current-version artifacts), and
+// the loaded pipeline predicts identically through it.
+func TestMatcherSnapshotRoundTrip(t *testing.T) {
+	p, _, _ := fitXORPipeline(t)
+	if p.Matcher() == nil {
+		t.Fatal("Fit should compile a matcher when patterns are selected")
+	}
+	loaded := roundTripPipeline(t, p)
+	if loaded.Matcher() == nil {
+		t.Fatal("matcher lost in round trip")
+	}
+	if !bytes.Equal(gobBytes(t, p.Matcher()), gobBytes(t, loaded.Matcher())) {
+		t.Fatal("matcher bytes changed across Save/Load")
+	}
+	d := xorDataset(80)
+	rows := allRows(d.NumRows())
+	want, err := p.Predict(d, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(d, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("loaded pipeline predicts differently from the one that saved it")
 	}
 }
 

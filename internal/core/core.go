@@ -27,6 +27,7 @@ import (
 	"dfpc/internal/nbayes"
 	"dfpc/internal/obs"
 	"dfpc/internal/parallel"
+	"dfpc/internal/patmatch"
 	"dfpc/internal/svm"
 )
 
@@ -253,6 +254,7 @@ type Pipeline struct {
 	space    *dataset.Space
 	numItems int
 	patterns []mining.Pattern // selected pattern features, id = numItems + index
+	matcher  *patmatch.Matcher // compiled trie over p.patterns; nil iff no patterns
 	model    predictor
 	itemKept []bool // non-nil for Item_FS: which items stay in the space
 	report   []FeatureReport
@@ -457,6 +459,7 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 	p.space = b.Space
 	p.numItems = b.NumItems()
 	p.patterns = nil
+	p.matcher = nil
 	p.itemKept = nil
 	p.report = nil
 	p.baseline = nil
@@ -471,6 +474,9 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 		if err := p.generatePatterns(ctx, b); err != nil {
 			return err
 		}
+	}
+	if err := p.compileMatcher(); err != nil {
+		return err
 	}
 	p.buildReport(b)
 
@@ -488,8 +494,11 @@ func (p *Pipeline) FitContext(ctx context.Context, d *dataset.Dataset, rows []in
 
 	sp = o.Start("featurize").Attr("rows", b.NumRows())
 	x := make([][]int32, b.NumRows())
+	var ms patmatch.Scratch
+	ms.Grow(p.matcher)
 	for i := range x {
-		x[i] = p.featureVector(b.Rows[i])
+		row := b.Rows[i]
+		x[i] = p.featureVectorInto(make([]int32, 0, len(row)+len(p.patterns)), row, &ms)
 	}
 	if o.Enabled() {
 		// Pattern-feature IDs sit above the item space, sorted to the
@@ -828,10 +837,67 @@ func (p *Pipeline) generatePatterns(ctx context.Context, b *dataset.Binary) erro
 	return nil
 }
 
-// featureVector maps a transaction (sorted item IDs) into the fitted
-// feature space: kept items followed by matched pattern features with
-// IDs numItems+j.
-func (p *Pipeline) featureVector(tx []int32) []int32 {
+// compileMatcher folds the selected patterns into the shared matching
+// trie the predict path walks (see internal/patmatch). Runs at the
+// tail of feature generation in every Fit; pattern-free pipelines keep
+// a nil matcher. Compilation is deterministic, so the matcher's bytes
+// are part of the model's worker-count-invariant surface.
+func (p *Pipeline) compileMatcher() error {
+	if len(p.patterns) == 0 {
+		return nil
+	}
+	if err := p.cfg.Faults.Hit(faults.PatmatchCompile); err != nil {
+		return fmt.Errorf("core: compile matcher: %w", err)
+	}
+	o := p.cfg.Obs
+	sp := o.Start("compile-matcher").Attr("patterns", len(p.patterns))
+	items := make([][]int32, len(p.patterns))
+	for i := range p.patterns {
+		items[i] = p.patterns[i].Items
+	}
+	p.matcher = patmatch.Compile(items)
+	if o.Enabled() {
+		o.Counter("patmatch.nodes").Add(int64(p.matcher.NumNodes()))
+		o.Counter("patmatch.patterns").Add(int64(p.matcher.NumPatterns()))
+		o.Gauge("patmatch.max_depth").Set(float64(p.matcher.MaxDepth()))
+		sp.Attr("nodes", p.matcher.NumNodes()).Attr("depth", p.matcher.MaxDepth())
+	}
+	sp.End()
+	return nil
+}
+
+// Matcher returns the compiled pattern matcher of the last Fit (nil
+// for pattern-free pipelines). Exposed for the determinism suite and
+// serving diagnostics; callers must treat it as read-only.
+func (p *Pipeline) Matcher() *patmatch.Matcher { return p.matcher }
+
+// featureVectorInto maps a transaction (sorted item IDs) into the
+// fitted feature space, appending to dst: kept items followed by
+// matched pattern features with IDs numItems+j, ascending. All
+// per-call state lives in dst and the caller's matcher scratch, so a
+// presized caller pays zero allocations per row.
+func (p *Pipeline) featureVectorInto(dst []int32, tx []int32, ms *patmatch.Scratch) []int32 {
+	if p.itemKept != nil {
+		for _, it := range tx {
+			if p.itemKept[it] {
+				dst = append(dst, it)
+			}
+		}
+	} else {
+		dst = append(dst, tx...)
+	}
+	if p.matcher != nil {
+		dst = p.matcher.MatchAppend(dst, tx, int32(p.numItems), ms)
+	}
+	return dst
+}
+
+// featureVectorNaive is the reference implementation of the feature
+// mapping: an O(|patterns|·|tx|) per-pattern subset test with no
+// shared structure. It exists solely as the differential-test oracle
+// for the compiled matcher path — production code must go through
+// featureVectorInto.
+func (p *Pipeline) featureVectorNaive(tx []int32) []int32 {
 	out := make([]int32, 0, len(tx)+len(p.patterns))
 	if p.itemKept != nil {
 		for _, it := range tx {
@@ -877,17 +943,20 @@ func (p *Pipeline) PredictProb(d *dataset.Dataset, rows []int) ([][]float64, err
 	if !ok {
 		return nil, fmt.Errorf("core: PredictProb unsupported for learner %v", p.cfg.Learner)
 	}
-	cat, err := p.disc.Apply(d.Subset(rows))
+	bp, err := p.NewBatchPredictor()
 	if err != nil {
 		return nil, err
 	}
-	b, err := dataset.Encode(cat)
-	if err != nil {
+	if err := bp.coder.checkSchema(d); err != nil {
 		return nil, err
 	}
 	out := make([][]float64, len(rows))
-	for i := range rows {
-		probs, err := sm.PredictProb(p.featureVector(b.Rows[i]))
+	for i, r := range rows {
+		fv, err := bp.featureVector(d.Rows[r], r)
+		if err != nil {
+			return nil, err
+		}
+		probs, err := sm.PredictProb(fv)
 		if err != nil {
 			return nil, err
 		}
@@ -973,56 +1042,17 @@ func (p *Pipeline) Predict(d *dataset.Dataset, rows []int) ([]int, error) {
 
 // PredictContext classifies the given rows of d under ctx; cancellation
 // aborts the per-row scoring loop with an error satisfying
-// errors.Is(err, guard.ErrCanceled) or guard.ErrDeadline.
+// errors.Is(err, guard.ErrCanceled) or guard.ErrDeadline. Rows are
+// encoded straight into the fitted item space and matched through the
+// compiled pattern trie; all per-row scratch is allocated once per
+// call, so the marginal cost per row is zero allocations.
 func (p *Pipeline) PredictContext(ctx context.Context, d *dataset.Dataset, rows []int) ([]int, error) {
 	if p.model == nil {
 		return nil, errors.New("core: Predict before Fit")
 	}
-	g := guard.New(ctx, guard.Limits{Deadline: p.stageDeadline()})
-	if err := g.CheckNow(); err != nil {
-		return nil, err
-	}
-	if err := p.cfg.Faults.Hit(faults.CorePredict); err != nil {
-		return nil, fmt.Errorf("core: predict: %w", err)
-	}
-	//vet:ignore hotalloc one batch-level telemetry attribute per Predict call, amortized over all rows
-	sp := p.cfg.Obs.Start("predict").Attr("rows", len(rows))
-	defer sp.End()
-	test := d.Subset(rows)
-	cat, err := p.disc.Apply(test)
-	if err != nil {
-		return nil, fmt.Errorf("core: discretize test: %w", err)
-	}
-	b, err := dataset.Encode(cat)
-	if err != nil {
-		return nil, fmt.Errorf("core: encode test: %w", err)
-	}
-	if b.NumItems() != p.numItems {
-		return nil, fmt.Errorf("core: test item space %d != train %d", b.NumItems(), p.numItems)
-	}
 	out := make([]int, len(rows))
-	if t := p.cfg.Drift; t != nil && p.baseline.Valid() {
-		// Tracked path: score each row with its confidence and stream
-		// it into the drift sketch. Kept separate so the untracked
-		// loop below stays on its pinned allocation baseline.
-		t.Bind(p.baseline)
-		lim := int32(p.numItems)
-		for i := range rows {
-			if err := g.Check(); err != nil {
-				return nil, err
-			}
-			fv := p.featureVector(b.Rows[i])
-			cls, conf, hasConf := p.predictConf(fv)
-			out[i] = cls
-			t.ObserveRow(cls, modelobs.ConfMicro(conf), hasConf, fv, lim)
-		}
-		return out, nil
-	}
-	for i := range rows {
-		if err := g.Check(); err != nil {
-			return nil, err
-		}
-		out[i] = p.model.Predict(p.featureVector(b.Rows[i]))
+	if err := p.PredictBatch(ctx, d, rows, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

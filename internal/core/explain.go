@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 
 	"dfpc/internal/c45"
 	"dfpc/internal/dataset"
@@ -68,27 +67,28 @@ func (p *Pipeline) PredictExplain(ctx context.Context, d *dataset.Dataset, rows 
 	}
 	sp := p.cfg.Obs.Start("predict-explain").Attr("rows", len(rows))
 	defer sp.End()
-	test := d.Subset(rows)
-	cat, err := p.disc.Apply(test)
+	bp, err := p.NewBatchPredictor()
 	if err != nil {
-		return nil, fmt.Errorf("core: discretize test: %w", err)
+		return nil, err
 	}
-	b, err := dataset.Encode(cat)
-	if err != nil {
-		return nil, fmt.Errorf("core: encode test: %w", err)
-	}
-	if b.NumItems() != p.numItems {
-		return nil, fmt.Errorf("core: test item space %d != train %d", b.NumItems(), p.numItems)
+	if err := bp.coder.checkSchema(d); err != nil {
+		return nil, err
 	}
 	out := make([]PredictionExplanation, len(rows))
 	lim := int32(p.numItems)
-	for i := range rows {
+	for i, r := range rows {
 		if err := g.Check(); err != nil {
 			return nil, err
 		}
-		fv := p.featureVector(b.Rows[i])
-		ex := PredictionExplanation{Row: rows[i]}
-		var fired []int // pattern indices, ascending (featureVector order)
+		// The feature vector comes from the same compiled-matcher path
+		// Predict scores, so the fired set below can never disagree
+		// with the prediction: both are one trie walk's accept set.
+		fv, err := bp.featureVector(d.Rows[r], r)
+		if err != nil {
+			return nil, err
+		}
+		ex := PredictionExplanation{Row: r}
+		var fired []int // pattern indices, ascending (matcher accept order)
 		for _, f := range fv {
 			if f < lim {
 				ex.Items = append(ex.Items, f)

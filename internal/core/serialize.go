@@ -14,6 +14,7 @@ import (
 	"dfpc/internal/modelobs"
 	"dfpc/internal/nbayes"
 	"dfpc/internal/obs"
+	"dfpc/internal/patmatch"
 	"dfpc/internal/svm"
 )
 
@@ -36,13 +37,20 @@ type pipelineSnapshot struct {
 	// a v1 payload (absent fields decode to their zero value), so
 	// pre-baseline models load cleanly with Baseline == nil.
 	Baseline *modelobs.Baseline
+	// Matcher is the compiled pattern-matching trie, added in snapshot
+	// v3 so a loaded model serves through the same compiled path a
+	// freshly fitted one does. v1/v2 payloads decode it as nil and
+	// Load recompiles it from Patterns — compilation is deterministic,
+	// so the lazily built trie is byte-identical to a fit-time one.
+	Matcher *patmatch.Matcher
 }
 
 // snapshotVersion is the version written by Save; Load accepts any
 // version in [minSnapshotVersion, snapshotVersion]. v1 = pre-baseline
-// envelopes (no Baseline field); v2 added the modelobs baseline.
+// envelopes (no Baseline field); v2 added the modelobs baseline; v3
+// added the compiled pattern matcher.
 const (
-	snapshotVersion    = 2
+	snapshotVersion    = 3
 	minSnapshotVersion = 1
 )
 
@@ -69,6 +77,7 @@ func (p *Pipeline) Save(w io.Writer) error {
 		Stats:    p.Stats,
 		Learner:  p.cfg.Learner,
 		Baseline: p.baseline,
+		Matcher:  p.matcher,
 	}
 	// Observers, loggers, fault registries, and drift trackers are
 	// per-process recorders, not model state (each additionally
@@ -137,10 +146,22 @@ func Load(r io.Reader) (p *Pipeline, err error) {
 		cfg:      snap.Config,
 		numItems: snap.NumItems,
 		patterns: snap.Patterns,
+		matcher:  snap.Matcher,
 		itemKept: snap.ItemKept,
 		report:   snap.Report,
 		Stats:    snap.Stats,
 		baseline: snap.Baseline,
+	}
+	if p.matcher == nil && len(p.patterns) > 0 {
+		// Pre-v3 artifact: compile the trie now so old models predict
+		// through the same zero-allocation path as new ones. No faults
+		// or obs here — registries are scrubbed on Save and a loaded
+		// pipeline has none installed yet.
+		items := make([][]int32, len(p.patterns))
+		for i := range p.patterns {
+			items[i] = p.patterns[i].Items
+		}
+		p.matcher = patmatch.Compile(items)
 	}
 	p.disc = &discretize.Discretizer{}
 	if err := p.disc.UnmarshalBinary(snap.Disc); err != nil {

@@ -162,6 +162,29 @@ func (disc *Discretizer) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 // attribute was already categorical).
 func (disc *Discretizer) Cuts(a int) []float64 { return disc.cuts[a] }
 
+// SourceSchema returns the attribute schema the discretizer was fitted
+// on. Callers must treat the returned slice as read-only.
+func (disc *Discretizer) SourceSchema() []dataset.Attribute { return disc.src }
+
+// Bins returns the number of discretized values attribute a can take:
+// len(cuts)+1 for numeric attributes (matching binLabels) and the
+// category count for attributes that were already categorical. Together
+// with BinOf this is the per-value face of Apply, letting a predict
+// path encode one raw row without materializing a discretized dataset.
+func (disc *Discretizer) Bins(a int) int {
+	if disc.src[a].Kind == dataset.Numeric {
+		return len(disc.cuts[a]) + 1
+	}
+	return len(disc.src[a].Values)
+}
+
+// BinOf maps a raw numeric value of attribute a to its bin index among
+// Bins(a) right-inclusive intervals — exactly the value Apply would
+// store in the discretized row.
+func (disc *Discretizer) BinOf(a int, v float64) int {
+	return binIndex(disc.cuts[a], v)
+}
+
 // FitApply fits cut points on d and applies them to d in one call.
 func FitApply(d *dataset.Dataset, opts Options) (*dataset.Dataset, error) {
 	disc, err := Fit(d, opts)

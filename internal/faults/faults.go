@@ -61,6 +61,10 @@ const (
 
 	// Drift-report snapshots (modelobs.Tracker.Report).
 	ModelobsSnapshot = "modelobs.snapshot"
+
+	// Pattern-matcher trie compilation at the tail of Fit
+	// (internal/patmatch via core.compileMatcher).
+	PatmatchCompile = "patmatch.compile"
 )
 
 // Known returns every registered injection point name, sorted. The
@@ -74,6 +78,7 @@ func Known() []string {
 		FeatselMMRFS, SVMSolve, C45Build, EvalFold,
 		TelemetryJournal, CheckpointWrite,
 		ModelobsSnapshot,
+		PatmatchCompile,
 	}
 	sort.Strings(pts)
 	return pts

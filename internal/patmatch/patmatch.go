@@ -1,0 +1,219 @@
+// Package patmatch compiles a selected pattern set into a shared
+// matching trie so the predict path can test every pattern against one
+// encoded transaction in a single walk. The naive per-pattern subset
+// test is O(|Fs|·|tx|) per row; closed pattern sets share long item
+// prefixes by construction (the same structure the FP-tree exploits at
+// mine time), so folding them into one trie over sorted item IDs makes
+// the shared prefixes cost one traversal instead of |Fs| merges.
+//
+// The compiled Matcher is immutable, gob-serializable (it travels
+// inside the model snapshot), and laid out in flat slices rather than
+// pointer nodes: node records are index ranges into shared arrays, so
+// the structure survives encoding unchanged, stays cache-friendly, and
+// never needs pointer chasing. Matching is a single iterative walk
+// with an explicit stack — no recursion, and with a warmed Scratch no
+// allocation, which is what lets core.Predict hold a zero-allocs-per-
+// row budget.
+package patmatch
+
+import "slices"
+
+// Matcher is the compiled, immutable form of a pattern set. All fields
+// are exported only so gob can serialize the structure inside model
+// snapshots; callers must treat a Matcher as read-only. A Matcher is
+// safe for concurrent use — every mutable bit of matching state lives
+// in the caller's Scratch.
+//
+// Trie layout: node 0 is the root. Children of node i are the
+// contiguous node range [ChildStart[i], ChildStart[i+1]), in strictly
+// ascending EdgeItem order (nodes are numbered breadth-first, so the
+// child blocks tile the node array in order). EdgeItem[i] is the item
+// labelling the edge into node i (unused for the root). Pattern IDs
+// accepted at node i — the patterns whose item set is exactly the
+// root→i path — are AcceptIDs[AcceptStart[i]:AcceptStart[i+1]];
+// duplicate itemsets in the input share one node and accept in input
+// order.
+type Matcher struct {
+	EdgeItem    []int32
+	ChildStart  []int32 // len = NumNodes()+1
+	AcceptStart []int32 // len = NumNodes()+1
+	AcceptIDs   []int32
+	NumPats     int
+	Depth       int // longest pattern length
+}
+
+// Scratch holds the per-caller mutable state of a match walk: the
+// explicit traversal stack and the matched-ID output buffer. A zero
+// Scratch is ready to use; after the first few calls its buffers reach
+// the matcher's worst-case sizes and matching allocates nothing.
+// Scratches are single-goroutine; concurrent matchers share the
+// Matcher and carry one Scratch each.
+type Scratch struct {
+	stack   []frame
+	matched []int32
+}
+
+// frame is one suspended trie position: the node to visit and the
+// transaction offset matching resumes from.
+type frame struct {
+	node int32
+	pos  int32
+}
+
+// Grow presizes the scratch to the matcher's worst case so the very
+// first Match call is allocation-free. The stack can hold one frame
+// per trie node (each node is visited at most once per transaction:
+// its root path matches a sorted, duplicate-free transaction in at
+// most one way) and the match buffer one entry per pattern.
+func (s *Scratch) Grow(m *Matcher) {
+	if m == nil {
+		return
+	}
+	if n := m.NumNodes(); cap(s.stack) < n {
+		s.stack = make([]frame, 0, n)
+	}
+	if cap(s.matched) < m.NumPats {
+		s.matched = make([]int32, 0, m.NumPats)
+	}
+}
+
+// NumNodes returns the number of trie nodes (at least 1: the root).
+func (m *Matcher) NumNodes() int { return len(m.EdgeItem) }
+
+// NumPatterns returns the number of compiled patterns.
+func (m *Matcher) NumPatterns() int { return m.NumPats }
+
+// MaxDepth returns the longest compiled pattern's length.
+func (m *Matcher) MaxDepth() int { return m.Depth }
+
+// Compile builds the matching trie for a pattern set. Pattern i's
+// items must be sorted ascending and duplicate-free (the invariant
+// mining.Pattern already maintains); the empty pattern is legal and
+// matches every transaction. The construction is deterministic: the
+// same pattern list always compiles to the same bytes, regardless of
+// the order Compile visits them in — patterns are sorted
+// lexicographically before insertion, and accept lists are ordered by
+// pattern ID.
+func Compile(patterns [][]int32) *Matcher {
+	// Sort pattern indices lexicographically by items so the trie can
+	// be built by sequential insertion: equal prefixes arrive adjacent
+	// and next-items arrive ascending, which keeps every node's child
+	// list append-only and sorted.
+	order := make([]int32, len(patterns))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := slices.Compare(patterns[a], patterns[b]); c != 0 {
+			return c
+		}
+		return int(a) - int(b) // duplicates accept in pattern-ID order
+	})
+
+	// Pointer-form build (fit-time only; the flat form below is what
+	// lives in the model).
+	type bnode struct {
+		item     int32
+		children []*bnode
+		accepts  []int32
+		depth    int
+	}
+	root := &bnode{}
+	nodes := 1
+	depth := 0
+	for _, pi := range order {
+		cur := root
+		for _, it := range patterns[pi] {
+			kids := cur.children
+			if n := len(kids); n > 0 && kids[n-1].item == it {
+				cur = kids[n-1]
+				continue
+			}
+			child := &bnode{item: it, depth: cur.depth + 1}
+			cur.children = append(cur.children, child)
+			cur = child
+			nodes++
+			if cur.depth > depth {
+				depth = cur.depth
+			}
+		}
+		cur.accepts = append(cur.accepts, pi)
+	}
+
+	// Breadth-first flattening: numbering nodes level by level lays
+	// each node's children out contiguously and in ascending edge
+	// order, so ChildStart can be a single prefix array.
+	m := &Matcher{
+		EdgeItem:    make([]int32, 0, nodes),
+		ChildStart:  make([]int32, 0, nodes+1),
+		AcceptStart: make([]int32, 0, nodes+1),
+		NumPats:     len(patterns),
+		Depth:       depth,
+	}
+	queue := make([]*bnode, 0, nodes)
+	queue = append(queue, root)
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		m.EdgeItem = append(m.EdgeItem, n.item)
+		m.ChildStart = append(m.ChildStart, int32(len(queue)))
+		m.AcceptStart = append(m.AcceptStart, int32(len(m.AcceptIDs)))
+		m.AcceptIDs = append(m.AcceptIDs, n.accepts...)
+		queue = append(queue, n.children...)
+	}
+	m.ChildStart = append(m.ChildStart, int32(len(queue)))
+	m.AcceptStart = append(m.AcceptStart, int32(len(m.AcceptIDs)))
+	return m
+}
+
+// Match walks the trie against one sorted transaction and returns the
+// IDs of every pattern whose items are all contained in tx, ascending.
+// The returned slice aliases s.matched and is valid until the next
+// Match call on the same Scratch. With a warmed (or Grown) Scratch the
+// walk performs no allocation; it never recurses.
+func (m *Matcher) Match(tx []int32, s *Scratch) []int32 {
+	s.matched = s.matched[:0]
+	if m == nil || m.NumPats == 0 {
+		return s.matched
+	}
+	s.stack = append(s.stack[:0], frame{node: 0, pos: 0})
+	for len(s.stack) > 0 {
+		f := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		s.matched = append(s.matched, m.AcceptIDs[m.AcceptStart[f.node]:m.AcceptStart[f.node+1]]...)
+		// Descend along every child edge whose item occurs in the
+		// remaining transaction suffix. Both sides are sorted, so one
+		// linear merge finds all of them.
+		ci, ce := m.ChildStart[f.node], m.ChildStart[f.node+1]
+		ti := f.pos
+		for ci < ce && ti < int32(len(tx)) {
+			switch e, t := m.EdgeItem[ci], tx[ti]; {
+			case e == t:
+				s.stack = append(s.stack, frame{node: ci, pos: ti + 1})
+				ci++
+				ti++
+			case e < t:
+				// tx is ascending past e already: this edge can never
+				// match the suffix.
+				ci++
+			default:
+				ti++
+			}
+		}
+	}
+	// The walk pops frames in stack order, not pattern order; sort so
+	// callers see ascending pattern IDs (slices.Sort is in-place).
+	slices.Sort(s.matched)
+	return s.matched
+}
+
+// MatchAppend appends base+id to dst for every matched pattern id, in
+// ascending order, and returns the extended slice. It is the predict
+// path's shape: the caller's feature vector keeps item features in
+// front and pattern features (IDs offset by the item-space size) in
+// the sorted tail.
+func (m *Matcher) MatchAppend(dst []int32, tx []int32, base int32, s *Scratch) []int32 {
+	for _, id := range m.Match(tx, s) {
+		dst = append(dst, base+id)
+	}
+	return dst
+}

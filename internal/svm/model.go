@@ -239,13 +239,16 @@ func (m *Model) SupportVectors() int {
 	return total
 }
 
-// Predict returns the predicted class for a sparse binary row.
-func (m *Model) Predict(x []int32) int {
-	if m.singleClass >= 0 {
-		return m.singleClass
+// vote runs every binary decision function on x, accumulating one-vs-
+// one votes and summed |decision| tie-break scores into the caller's
+// scratch, and returns the winning class. votes and score must have
+// length numClasses; the caller owns them so repeated scoring can be
+// allocation-free (see Scorer).
+func (m *Model) vote(x []int32, votes []int, score []float64) int {
+	for c := range votes {
+		votes[c] = 0
+		score[c] = 0
 	}
-	votes := make([]int, m.numClasses)
-	score := make([]float64, m.numClasses) // tie-break by summed |decision|
 	for k, bm := range m.pairs {
 		d := bm.decision(x)
 		a, b := m.pairClass[k][0], m.pairClass[k][1]
@@ -258,12 +261,44 @@ func (m *Model) Predict(x []int32) int {
 		}
 	}
 	best := 0
-	for c := 1; c < m.numClasses; c++ {
+	for c := 1; c < len(votes); c++ {
 		if votes[c] > votes[best] || (votes[c] == votes[best] && score[c] > score[best]) {
 			best = c
 		}
 	}
 	return best
+}
+
+// margin returns the summed-score gap between best and the runner-up
+// under the same (votes, score) order, clamped at 0.
+func (m *Model) margin(best int, votes []int, score []float64) float64 {
+	second := -1
+	for c := range votes {
+		if c == best {
+			continue
+		}
+		if second < 0 || votes[c] > votes[second] || (votes[c] == votes[second] && score[c] > score[second]) {
+			second = c
+		}
+	}
+	if second < 0 {
+		return 0
+	}
+	margin := score[best] - score[second]
+	if margin < 0 {
+		margin = 0
+	}
+	return margin
+}
+
+// Predict returns the predicted class for a sparse binary row.
+func (m *Model) Predict(x []int32) int {
+	if m.singleClass >= 0 {
+		return m.singleClass
+	}
+	votes := make([]int, m.numClasses)
+	score := make([]float64, m.numClasses) // tie-break by summed |decision|
+	return m.vote(x, votes, score)
 }
 
 // PredictMargin returns the predicted class together with a
@@ -278,41 +313,47 @@ func (m *Model) PredictMargin(x []int32) (int, float64) {
 	}
 	votes := make([]int, m.numClasses)
 	score := make([]float64, m.numClasses)
-	for k, bm := range m.pairs {
-		d := bm.decision(x)
-		a, b := m.pairClass[k][0], m.pairClass[k][1]
-		if d > 0 {
-			votes[a]++
-			score[a] += d
-		} else {
-			votes[b]++
-			score[b] -= d
-		}
+	best := m.vote(x, votes, score)
+	return best, m.margin(best, votes, score)
+}
+
+// Scorer scores rows against a fixed model through preallocated voting
+// scratch, so repeated prediction costs zero allocations per row —
+// the serving-loop contract core's batch predictor builds on. A Scorer
+// is single-goroutine; concurrent scorers share the Model and carry
+// one Scorer each. Predictions and margins are identical to the
+// Model's own Predict/PredictMargin.
+type Scorer struct {
+	m     *Model
+	votes []int
+	score []float64
+}
+
+// NewScorer returns a scorer with scratch sized for this model.
+func (m *Model) NewScorer() *Scorer {
+	return &Scorer{
+		m:     m,
+		votes: make([]int, m.numClasses),
+		score: make([]float64, m.numClasses),
 	}
-	best := 0
-	for c := 1; c < m.numClasses; c++ {
-		if votes[c] > votes[best] || (votes[c] == votes[best] && score[c] > score[best]) {
-			best = c
-		}
+}
+
+// Predict returns the predicted class for a sparse binary row.
+func (s *Scorer) Predict(x []int32) int {
+	if s.m.singleClass >= 0 {
+		return s.m.singleClass
 	}
-	// Runner-up by the same (votes, score) order, excluding best.
-	second := -1
-	for c := 0; c < m.numClasses; c++ {
-		if c == best {
-			continue
-		}
-		if second < 0 || votes[c] > votes[second] || (votes[c] == votes[second] && score[c] > score[second]) {
-			second = c
-		}
+	return s.m.vote(x, s.votes, s.score)
+}
+
+// PredictMargin returns the predicted class and confidence margin,
+// identical to Model.PredictMargin.
+func (s *Scorer) PredictMargin(x []int32) (int, float64) {
+	if s.m.singleClass >= 0 {
+		return s.m.singleClass, 0
 	}
-	if second < 0 {
-		return best, 0
-	}
-	margin := score[best] - score[second]
-	if margin < 0 {
-		margin = 0
-	}
-	return best, margin
+	best := s.m.vote(x, s.votes, s.score)
+	return best, s.m.margin(best, s.votes, s.score)
 }
 
 // PredictAll predicts every row.

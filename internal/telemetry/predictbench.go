@@ -1,0 +1,40 @@
+package telemetry
+
+import "sort"
+
+// PredictBench is one predict-throughput measurement in the benchjson
+// document: the serving rate and per-row tail latency of the compiled
+// predict path at one batch size on one dataset. cmd/experiments
+// emits these alongside the per-stage CV reports and cmd/benchdiff
+// gates rows_per_sec against the committed baseline.
+type PredictBench struct {
+	Dataset string `json:"dataset"`
+	Batch   int    `json:"batch"`
+	// Rows is the total number of rows scored while measuring.
+	Rows       int     `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// P99NSPerRow is the 99th-percentile per-row latency, computed over
+	// per-batch wall times divided by the batch size — the tail a
+	// serving loop would quote, not the mean the throughput implies.
+	P99NSPerRow int64 `json:"p99_ns_per_row"`
+}
+
+// P99 returns the 99th-percentile value of samples (nearest-rank on a
+// sorted copy; the input is not modified). Zero samples return 0.
+func P99(samples []int64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Nearest-rank: ceil(0.99·n) as a 1-based rank.
+	rank := (99*len(s) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

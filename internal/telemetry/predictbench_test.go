@@ -1,0 +1,39 @@
+package telemetry
+
+import "testing"
+
+func TestP99(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []int64
+		want int64
+	}{
+		{"empty", nil, 0},
+		{"single", []int64{7}, 7},
+		{"two", []int64{1, 100}, 100},
+		{"hundred", seq(100), 99},      // rank ceil(99) = 99 → value 99
+		{"hundred-one", seq(101), 100}, // rank ceil(99.99) = 100 → value 100
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := P99(c.in); got != c.want {
+				t.Fatalf("P99(%d samples) = %d, want %d", len(c.in), got, c.want)
+			}
+		})
+	}
+	// The input must not be reordered.
+	in := []int64{3, 1, 2}
+	P99(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("P99 mutated its input")
+	}
+}
+
+// seq returns 1..n in descending order so sorting matters.
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(n - i)
+	}
+	return out
+}

@@ -31,12 +31,19 @@ if [ "${1:-}" = "bench" ]; then
 	# than drift-off — the tracker's steady-state observation path is
 	# allocation-free by contract (buffers are bound once at Bind).
 	pb="${PREDICT_BENCH_OUT:-/tmp/predict_bench.txt}"
-	echo ">> go test -bench 'BenchmarkPredictAllocs|BenchmarkPredictDriftOn' ./internal/core/"
-	go test -run '^$' -bench 'BenchmarkPredictAllocs$|BenchmarkPredictDriftOn$' \
+	echo ">> go test -bench 'BenchmarkPredictAllocs|BenchmarkPredictDriftOn|BenchmarkPredictThroughput|BenchmarkFeaturize' ./internal/core/"
+	go test -run '^$' -bench 'BenchmarkPredictAllocs$|BenchmarkPredictDriftOn$|BenchmarkPredictThroughput|BenchmarkFeaturize' \
 		-benchmem -benchtime=200x -count=1 ./internal/core/ | tee "$pb"
 	awk '/^BenchmarkPredictAllocs/{off=$(NF-1)} /^BenchmarkPredictDriftOn/{on=$(NF-1)}
 		END{ if (on == "" || off == "") { print "predict benches missing from output"; exit 1 }
 		     if (on+0 > off+0) { printf "drift-on predict allocates more than drift-off (%s > %s allocs/op)\n", on, off; exit 1 } }' "$pb"
+	# Compiled matcher must beat the naive per-pattern subset scan on a
+	# bundled dataset (the two are proven byte-identical by the
+	# differential tests; this asserts the speed half of the trade).
+	awk '/^BenchmarkFeaturize\/compiled/{c=$3} /^BenchmarkFeaturize\/naive/{n=$3}
+		END{ if (c == "" || n == "") { print "featurize benches missing from output"; exit 1 }
+		     if (c+0 >= n+0) { printf "compiled featurize is not faster than naive (%s >= %s ns/op)\n", c, n; exit 1 }
+		     printf "compiled featurize beats naive: %.2fx\n", n/c }' "$pb"
 	echo "OK (bench)"
 	exit 0
 fi
